@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the reproduced rows (run ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  Sizes are reduced from the paper's 1000-task / 20-50-worker
+runs where a full-size run would make the harness take tens of minutes;
+the CLI (``repro-experiments``) runs the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale grid configuration used by the figure benchmarks."""
+    return ExperimentConfig(n_tasks=300, n_workers=8, ramp_up_seconds=240.0)

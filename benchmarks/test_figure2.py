@@ -1,0 +1,19 @@
+"""Bench E-F2: regenerate Figure 2 (production trace consumption)."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_trace_generation(benchmark):
+    """Time the trace generation + per-category statistics."""
+    result = benchmark(figure2.run, 0)
+    # The paper's headline quantities must hold on every regeneration.
+    mpnn = result.stats_of("colmena_xtb", "evaluate_mpnn")
+    lo, _, _, hi = mpnn.stats["memory_mb"]
+    assert 1000 <= lo and hi <= 1200
+    energy = result.stats_of("colmena_xtb", "compute_atomization_energy")
+    c_lo, _, _, c_hi = energy.stats["cores"]
+    assert c_lo >= 0.9 and c_hi <= 3.6
+    disk = result.stats_of("topeft", "processing").stats["disk_mb"]
+    assert disk[0] == disk[3] == 306.0
+    print()
+    print(figure2.render(result))

@@ -1,0 +1,14 @@
+"""Bench E-F3: regenerate Figure 3b/3c (the running example's buckets)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_running_example(benchmark):
+    """Time bucketing the 2000-record N(8 GB, 2 GB) example."""
+    result = benchmark(figure3.run, 2000, 0)
+    # Both algorithms must discover structure cheaper than one bucket.
+    for algorithm in ("greedy_bucketing", "exhaustive_bucketing"):
+        assert result.expected_waste(algorithm) <= result.single_bucket_cost + 1e-6
+        assert 1 <= result.n_buckets(algorithm) <= 10
+    print()
+    print(figure3.render(result))

@@ -1,0 +1,18 @@
+"""Bench E-F4: regenerate Figure 4 (synthetic memory distributions)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_synthetic_generation(benchmark):
+    """Time generating all five 1000-task synthetic workflows."""
+    result = benchmark(figure4.run, 1000, 0)
+    assert set(result.workflows) == {
+        "normal", "uniform", "exponential", "bimodal", "trimodal"
+    }
+    # Distribution centres the workflows are designed around.
+    assert abs(result.stats["normal"][5] - 8000) < 400      # mean
+    assert result.stats["exponential"][5] > result.stats["exponential"][2]  # skew
+    p1, p2, p3 = result.trimodal_phase_means
+    assert p2 > p1 > p3                                      # moving phases
+    print()
+    print(figure4.render(result))

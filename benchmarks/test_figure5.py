@@ -1,0 +1,52 @@
+"""Bench E-F5: regenerate Figure 5 (the AWE grid).
+
+The full paper grid is 3 resources x 7 workflows x 7 algorithms over
+1000-task workflows; the benchmark runs a reduced-scale version of the
+complete grid (every workflow, every algorithm) once and checks the
+headline shape claims, printing the reproduced tables.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+@pytest.fixture(scope="module")
+def result(bench_config):
+    return figure5.run(config=bench_config)
+
+
+def test_figure5_full_grid(benchmark, bench_config, result):
+    # Benchmark one representative cell rather than re-running the whole
+    # 49-simulation grid per timing round.
+    from repro.experiments.runner import run_cell
+
+    benchmark.pedantic(
+        run_cell,
+        args=("normal", "exhaustive_bucketing", bench_config),
+        rounds=1,
+        iterations=1,
+    )
+
+    grid = result.grid
+    # Shape claims (see EXPERIMENTS.md for the full paper-vs-measured log):
+    # 1. Whole Machine is the floor on memory for every workflow.
+    for workflow in grid.workflows:
+        floor = grid.awe(workflow, "whole_machine", "memory")
+        for algorithm in grid.algorithms:
+            assert grid.awe(workflow, algorithm, "memory") >= floor - 1e-9
+    # 2. A bucketing algorithm beats Max Seen on Normal memory.
+    assert max(
+        grid.awe("normal", "greedy_bucketing", "memory"),
+        grid.awe("normal", "exhaustive_bucketing", "memory"),
+    ) > grid.awe("normal", "max_seen", "memory")
+    # 3. Exponential is the hardest workflow for the bucketing algorithms.
+    eb = {wf: grid.awe(wf, "exhaustive_bucketing", "memory") for wf in grid.workflows}
+    synthetic = ("normal", "uniform", "exponential", "bimodal", "trimodal")
+    assert min((eb[wf] for wf in synthetic)) == eb["exponential"]
+    # 4. TopEFT disk: bucketing near-perfect, Max Seen capped by rounding.
+    assert grid.awe("topeft", "exhaustive_bucketing", "disk") > 0.85
+    assert grid.awe("topeft", "max_seen", "disk") < 0.65
+
+    print()
+    print(figure5.render(result))

@@ -1,0 +1,40 @@
+"""Bench E-F6: regenerate Figure 6 (waste decomposition)."""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.fixture(scope="module")
+def result(bench_config):
+    return figure6.run(config=bench_config)
+
+
+def test_figure6_waste_split(benchmark, bench_config, result):
+    from repro.experiments.runner import run_cell
+
+    benchmark.pedantic(
+        run_cell,
+        args=("normal", "quantized_bucketing", bench_config),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape claims (Section V-D):
+    # 1. Max Seen's waste is (almost) pure over-estimation.
+    assert result.failed_share("normal", "max_seen", "memory") < 0.1
+    # 2. Quantized Bucketing is the under-estimating outlier.
+    assert result.failed_share("normal", "quantized_bucketing", "memory") > \
+        result.failed_share("normal", "max_seen", "memory")
+    # 3. The bucketing algorithms keep their failed share moderate,
+    #    behind Quantized's.
+    for algo in ("greedy_bucketing", "exhaustive_bucketing"):
+        assert result.failed_share("normal", algo, "memory") < \
+            result.failed_share("normal", "quantized_bucketing", "memory")
+    # 4. Max Throughput under-allocates more than Min Waste (it ignores
+    #    retry cost), showing a larger failed share on the heavy tail.
+    assert result.failed_share("exponential", "max_throughput", "memory") >= \
+        result.failed_share("exponential", "min_waste", "memory") - 1e-9
+
+    print()
+    print(figure6.render(result))

@@ -1,0 +1,22 @@
+"""Bench E-X3: the Quantized-then-Bucketing switchover (Section V-C)."""
+
+from repro.experiments import hybrid_study
+
+
+def test_hybrid_switchover_on_topeft(benchmark, bench_config):
+    result = benchmark.pedantic(
+        hybrid_study.run,
+        args=(bench_config,),
+        kwargs={"workflow": "topeft", "switch_points": (25, 50)},
+        rounds=1,
+        iterations=1,
+    )
+    eb = result.of("exhaustive_bucketing")
+    hybrids = [r for r in result.rows if r.variant.startswith("hybrid")]
+    # The mitigation must not sacrifice the bucketing algorithms' strong
+    # suits: memory and disk stay within a few points of plain EB.
+    for row in hybrids:
+        assert row.awe_memory >= eb.awe_memory - 0.1
+        assert row.awe_disk >= eb.awe_disk - 0.1
+    print()
+    print(hybrid_study.render(result))

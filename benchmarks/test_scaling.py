@@ -1,0 +1,23 @@
+"""Bench E-X1: the >10k-task scaling hypothesis (Section VII)."""
+
+from repro.experiments import scaling
+
+
+def test_scaling_convergence(benchmark, bench_config):
+    result = benchmark.pedantic(
+        scaling.run,
+        kwargs={
+            "workflow": "normal",
+            "algorithm": "exhaustive_bucketing",
+            "task_counts": (250, 1000, 4000),
+            "config": bench_config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # The hypothesis: the overall AWE closes in on the steady state as
+    # transients amortize over more tasks.
+    assert result.overall_gap(-1) <= result.overall_gap(0) + 0.05
+    assert result.overall_awe[-1] >= result.overall_awe[0] - 0.05
+    print()
+    print(scaling.render(result))

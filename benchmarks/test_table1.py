@@ -1,0 +1,53 @@
+"""Bench E-T1: regenerate Table I (allocation computation time).
+
+Times both bucketing algorithms' state computation + allocation at the
+paper's record counts, including the literal Algorithm 1 transcription
+that reproduces the paper's Greedy Bucketing blowup.  The 5000-record
+literal-GB measurement takes seconds by design — that is the result.
+"""
+
+import pytest
+
+from repro.core.exhaustive import exhaustive_break_indices
+from repro.core.greedy import greedy_break_indices
+from repro.experiments import table1
+from repro.experiments.table1 import _make_records
+
+
+@pytest.fixture(scope="module")
+def records_5000():
+    return _make_records(5000, seed=0)
+
+
+def test_table1_exhaustive_at_5000(benchmark, records_5000):
+    """EB at 5000 records: the paper reports 1.6 ms; ours is ~1 ms."""
+    breaks = benchmark(exhaustive_break_indices, records_5000)
+    assert breaks[-1] == 4999
+    # Roughly-linear scaling: must stay well under 10 ms.
+    assert benchmark.stats.stats.mean < 0.05
+
+
+def test_table1_greedy_optimized_at_5000(benchmark, records_5000):
+    """This repo's prefix-sum GB stays in the same range as EB."""
+    breaks = benchmark(greedy_break_indices, records_5000)
+    assert breaks[-1] == 4999
+
+
+def test_table1_full_sweep(benchmark):
+    """The complete Table I sweep, literal GB included (one round)."""
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs={"record_counts": (10, 200, 1000, 2000, 5000), "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    lit = result.microseconds["greedy_bucketing_literal"]
+    eb = result.microseconds["exhaustive_bucketing"]
+    # Paper shape: GB superlinear (x500 records -> >> x500 time) while EB
+    # grows far slower; bounds are loose because single-process timing on
+    # a busy host is noisy.
+    assert lit[-1] / lit[0] > 500
+    assert eb[-1] / max(eb[0], 1e-9) < lit[-1] / lit[0] / 10
+    assert lit[-1] > 100 * eb[-1]
+    print()
+    print(table1.render(result))

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Dependency-structured workflow: a dynamic map-shuffle-reduce tree.
+
+Dynamic workflow systems generate *dependent* tasks at runtime
+(Figure 1).  This example builds a three-stage analysis tree with
+:class:`~repro.workflows.dag.DynamicDAG` — 64 mappers, 8 combiners,
+1 reducer, each stage with its own resource footprint — and runs it
+under the adaptive allocator.  It shows:
+
+* tasks becoming ready as their parents complete (stage barriers);
+* per-category bucket states for stages with different footprints;
+* the makespan against the DAG's critical-path lower bound.
+
+Run:  python examples/dag_pipeline.py
+"""
+
+import numpy as np
+
+from repro import AllocatorConfig
+from repro.core.resources import CORES, MEMORY, ResourceVector
+from repro.sim import SimulationConfig, WorkflowManager
+from repro.sim.pool import PoolConfig
+from repro.workflows.dag import DynamicDAG
+
+
+def build_pipeline(rng: np.random.Generator) -> DynamicDAG:
+    dag = DynamicDAG()
+    mappers = [
+        dag.add_task(
+            "map",
+            ResourceVector.of(
+                cores=1,
+                memory=float(rng.normal(800, 80)),
+                disk=float(rng.uniform(50, 150)),
+            ),
+            duration=float(rng.lognormal(np.log(40), 0.3)),
+        )
+        for _ in range(64)
+    ]
+    combiners = [
+        dag.add_task(
+            "combine",
+            ResourceVector.of(
+                cores=2,
+                memory=float(rng.normal(2500, 200)),
+                disk=float(rng.uniform(200, 400)),
+            ),
+            duration=float(rng.lognormal(np.log(90), 0.25)),
+            dependencies=mappers[i * 8 : (i + 1) * 8],
+        )
+        for i in range(8)
+    ]
+    dag.add_task(
+        "reduce",
+        ResourceVector.of(cores=4, memory=9000.0, disk=1200.0),
+        duration=240.0,
+        dependencies=combiners,
+    )
+    return dag
+
+
+def main() -> None:
+    rng = np.random.default_rng(47)
+    dag = build_pipeline(rng)
+    workflow = dag.to_workflow("map_shuffle_reduce")
+    print(f"workflow: {workflow}")
+    print(f"critical path lower bound: {dag.critical_path_length():.0f}s")
+
+    manager = WorkflowManager(
+        workflow,
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm="greedy_bucketing", seed=53),
+            pool=PoolConfig(n_workers=8, ramp_up_seconds=120.0, seed=59),
+        ),
+    )
+    result = manager.run()
+    ledger = result.ledger
+
+    print(f"makespan: {result.makespan:.0f}s "
+          f"({result.makespan / dag.critical_path_length():.2f}x the lower bound)")
+    print(f"\n{'stage':12s}{'tasks':>6s}{'AWE cores':>12s}{'AWE memory':>12s}")
+    for category in ledger.categories():
+        n = len(workflow.tasks_of(category))
+        print(
+            f"{category:12s}{n:>6d}"
+            f"{ledger.awe_of_category(category, CORES):>12.3f}"
+            f"{ledger.awe_of_category(category, MEMORY):>12.3f}"
+        )
+
+    print("\nmemory bucket states per stage:")
+    for category in ledger.categories():
+        algo = manager.allocator.algorithm(category, MEMORY)
+        state = getattr(algo, "state", None)
+        if state is not None:
+            reps = ", ".join(f"{b.rep:.0f}" for b in state.buckets)
+            print(f"  {category:12s} reps = [{reps}] MB")
+    print(
+        "\nThe single 'reduce' task never leaves exploration (only one "
+        "record can ever exist), illustrating why the allocator keeps the "
+        "conservative bootstrap around."
+    )
+
+
+if __name__ == "__main__":
+    main()

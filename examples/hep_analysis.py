@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""High-energy-physics analysis campaign (TopEFT-shaped).
+
+The scenario the paper's introduction motivates: a Coffea-style event
+analysis whose ~4,500 tasks arrive in three categories with very
+different resource needs, run on an opportunistic pool with workers
+joining and leaving mid-campaign.  The example shows:
+
+* per-category allocator state (preprocessing / processing /
+  accumulating are sized independently);
+* survival of worker churn (evicted tasks are retried transparently);
+* the per-category efficiency breakdown the accounting ledger keeps.
+
+Run:  python examples/hep_analysis.py
+"""
+
+from repro import AllocatorConfig
+from repro.core.resources import CORES, DISK, MEMORY
+from repro.sim import SimulationConfig, WorkflowManager
+from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.workflows import make_topeft_workflow
+
+
+def main() -> None:
+    workflow = make_topeft_workflow(seed=5, scale=0.25)  # ~1,100 tasks
+    print(f"workflow: {workflow}")
+
+    manager = WorkflowManager(
+        workflow,
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm="exhaustive_bucketing", seed=13),
+            pool=PoolConfig(
+                n_workers=20,
+                ramp_up_seconds=600.0,
+                churn=ChurnConfig(
+                    mean_lifetime=3600.0,      # workers reclaimed after ~1h
+                    mean_interarrival=900.0,   # replacements trickle in
+                    min_workers=5,
+                    max_workers=30,
+                ),
+                seed=17,
+            ),
+        ),
+    )
+    result = manager.run()
+    ledger = result.ledger
+
+    print(f"\ncompleted {ledger.n_tasks} tasks in {result.makespan / 3600:.2f} sim-hours")
+    print(
+        f"attempts={result.n_attempts} "
+        f"(failed={result.n_failed_attempts}, evicted={result.n_evicted_attempts}); "
+        f"workers joined={result.workers_joined}, reclaimed={result.workers_left}"
+    )
+
+    print(f"\n{'category':16s}{'AWE cores':>12s}{'AWE memory':>12s}{'AWE disk':>12s}")
+    for category in ledger.categories():
+        print(
+            f"{category:16s}"
+            f"{ledger.awe_of_category(category, CORES):>12.3f}"
+            f"{ledger.awe_of_category(category, MEMORY):>12.3f}"
+            f"{ledger.awe_of_category(category, DISK):>12.3f}"
+        )
+    print(f"{'— overall —':16s}{ledger.awe(CORES):>12.3f}{ledger.awe(MEMORY):>12.3f}{ledger.awe(DISK):>12.3f}")
+
+    print("\nbucket states at campaign end (memory, MB):")
+    for category in ledger.categories():
+        algo = manager.allocator.algorithm(category, MEMORY)
+        state = getattr(algo, "state", None)
+        if state is not None:
+            reps = ", ".join(f"{b.rep:.0f}@{b.prob:.2f}" for b in state.buckets)
+            print(f"  {category:16s} [{reps}]")
+
+    print(
+        "\nNote the constant 306 MB disk: the bucketing state collapses to a "
+        "single exact bucket, which is how the paper reaches ~100 % disk "
+        "efficiency on this workflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

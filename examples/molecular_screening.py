@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Molecular screening campaign (ColmenaXTB-shaped) with phase change.
+
+ColmenaXTB first ranks candidate molecules with neural-network inference
+(``evaluate_mpnn``: ~1.1 GB memory, ~1 core), then switches to computing
+atomization energies for the winners (``compute_atomization_energy``:
+~200 MB but 0.9-3.6 cores — inherently stochastic threading).  The two
+phases are the paper's showcase of *why categories must be allocated
+independently* and how the significance weighting adapts across a phase
+boundary.
+
+The example compares Greedy and Exhaustive Bucketing on the same trace
+and prints the per-phase efficiency plus the memory convergence series.
+
+Run:  python examples/molecular_screening.py
+"""
+
+from repro import AllocatorConfig
+from repro.core.resources import CORES, MEMORY
+from repro.experiments.reporting import format_series
+from repro.metrics.summary import convergence_series
+from repro.sim import SimulationConfig, WorkflowManager
+from repro.sim.pool import PoolConfig
+from repro.workflows import make_colmena_workflow
+
+
+def run(algorithm: str, workflow):
+    manager = WorkflowManager(
+        workflow,
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm=algorithm, seed=29),
+            pool=PoolConfig(n_workers=15, ramp_up_seconds=450.0, seed=31),
+        ),
+    )
+    return manager.run()
+
+
+def main() -> None:
+    workflow = make_colmena_workflow(seed=19)
+    print(f"workflow: {workflow}")
+    n_mpnn = len(workflow.tasks_of("evaluate_mpnn"))
+    print(f"phase 1: {n_mpnn} evaluate_mpnn, phase 2: "
+          f"{len(workflow) - n_mpnn} compute_atomization_energy\n")
+
+    results = {
+        algorithm: run(algorithm, workflow)
+        for algorithm in ("greedy_bucketing", "exhaustive_bucketing")
+    }
+
+    print(f"{'category':28s}{'metric':>12s}{'greedy':>10s}{'exhaustive':>12s}")
+    for category in workflow.categories():
+        for res in (CORES, MEMORY):
+            row = [
+                results[a].ledger.awe_of_category(category, res)
+                for a in ("greedy_bucketing", "exhaustive_bucketing")
+            ]
+            print(f"{category:28s}{'AWE ' + res.key:>12s}{row[0]:>10.3f}{row[1]:>12.3f}")
+
+    print()
+    series = convergence_series(results["exhaustive_bucketing"], MEMORY, window=60)
+    print(format_series("memory efficiency over completions (EB, windowed)", series))
+    print(
+        "\nWatch the dip around the phase boundary: the allocator's old "
+        "1.1 GB buckets over-allocate the first 200 MB energy tasks until "
+        "fresh records (with higher significance) dominate the state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Operating an opportunistic pool: utilization, queues, trace export.
+
+The administrator's view the paper's introduction argues for: good
+per-task allocations let the batch system backfill more tasks per
+worker, raising facility utilization.  This example runs the same
+bimodal workload under Whole Machine and Exhaustive Bucketing on an
+identical churning pool and compares the *operational* signals:
+
+* allocation-level pool utilization over time;
+* ready-queue depth and makespan;
+* the full attempt log, exported to CSV for external tooling.
+
+Run:  python examples/pool_observability.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import AllocatorConfig
+from repro.core.resources import CORES, DISK, MEMORY
+from repro.experiments.reporting import format_series
+from repro.sim import SimulationConfig, WorkflowManager
+from repro.sim.observability import TimelineRecorder
+from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.workflows import export_attempts_csv, make_synthetic_workflow
+
+
+def run(algorithm: str, workflow):
+    manager = WorkflowManager(
+        workflow,
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm=algorithm, seed=73),
+            pool=PoolConfig(
+                n_workers=12,
+                ramp_up_seconds=300.0,
+                churn=ChurnConfig(
+                    mean_lifetime=5400.0,
+                    mean_interarrival=1200.0,
+                    min_workers=4,
+                    max_workers=16,
+                ),
+                seed=79,
+            ),
+        ),
+    )
+    recorder = TimelineRecorder(manager, period=120.0)
+    result = manager.run()
+    return manager, result, recorder.timeline
+
+
+def main() -> None:
+    workflow = make_synthetic_workflow("bimodal", n_tasks=600, seed=83)
+    print(f"workflow: {workflow}\n")
+
+    rows = []
+    timelines = {}
+    managers = {}
+    for algorithm in ("whole_machine", "exhaustive_bucketing"):
+        manager, result, timeline = run(algorithm, workflow)
+        timelines[algorithm] = timeline
+        managers[algorithm] = manager
+        rows.append(
+            (
+                algorithm,
+                result.makespan / 3600.0,
+                timeline.mean_utilization("cores"),
+                timeline.mean_utilization("memory"),
+                timeline.peak_queue_depth(),
+                result.n_evicted_attempts,
+            )
+        )
+
+    print(f"{'algorithm':24s}{'makespan(h)':>12s}{'util cores':>12s}"
+          f"{'util memory':>12s}{'peak queue':>12s}{'evictions':>10s}")
+    for algorithm, makespan, uc, um, queue, evicted in rows:
+        print(f"{algorithm:24s}{makespan:>12.2f}{uc:>12.2f}{um:>12.2f}"
+              f"{queue:>12d}{evicted:>10d}")
+
+    print()
+    print(format_series(
+        "memory utilization over time (exhaustive_bucketing)",
+        timelines["exhaustive_bucketing"].utilization_series("memory"),
+        max_points=12,
+    ))
+
+    out = Path(tempfile.gettempdir()) / "repro_attempts.csv"
+    export_attempts_csv(
+        managers["exhaustive_bucketing"]._tasks.values(),
+        resources=(CORES, MEMORY, DISK),
+        path=out,
+    )
+    print(f"\nattempt log exported to {out} "
+          f"({sum(1 for _ in open(out)) - 1} attempts)")
+    print(
+        "\nWhole-machine allocations pin one task per worker, so its pool "
+        "looks 'fully utilized' while doing a fraction of the work; the "
+        "bucketing allocator's utilization is honest — and its makespan "
+        "shows where the reclaimed capacity went."
+    )
+
+
+if __name__ == "__main__":
+    main()

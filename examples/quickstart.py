@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: allocate a dynamic workflow with Exhaustive Bucketing.
+
+Builds a 500-task synthetic workflow whose memory follows the paper's
+running example N(8 GB, 2 GB), runs it through the simulator twice —
+once with the Whole Machine baseline, once with Exhaustive Bucketing —
+and prints the efficiency difference the bucketing approach buys.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AllocatorConfig
+from repro.core.resources import CORES, DISK, MEMORY
+from repro.sim import SimulationConfig, WorkflowManager
+from repro.sim.pool import PoolConfig
+from repro.workflows import make_synthetic_workflow
+
+
+def run(algorithm: str, workflow):
+    manager = WorkflowManager(
+        workflow,
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm=algorithm, seed=7),
+            pool=PoolConfig(n_workers=10, ramp_up_seconds=300.0, seed=11),
+        ),
+    )
+    return manager.run()
+
+
+def main() -> None:
+    workflow = make_synthetic_workflow("normal", n_tasks=500, seed=3)
+    print(f"workflow: {workflow}")
+    print()
+
+    baseline = run("whole_machine", workflow)
+    bucketing = run("exhaustive_bucketing", workflow)
+
+    print(f"{'':24s}{'whole_machine':>16s}{'exhaustive_bucketing':>22s}")
+    for res in (CORES, MEMORY, DISK):
+        print(
+            f"AWE ({res.key:6s})        "
+            f"{baseline.ledger.awe(res):>16.3f}{bucketing.ledger.awe(res):>22.3f}"
+        )
+    print(
+        f"{'attempts':24s}{baseline.n_attempts:>16d}{bucketing.n_attempts:>22d}"
+    )
+    print(
+        f"{'failed attempts':24s}"
+        f"{baseline.n_failed_attempts:>16d}{bucketing.n_failed_attempts:>22d}"
+    )
+    print()
+    gain = bucketing.ledger.awe(MEMORY) / baseline.ledger.awe(MEMORY)
+    print(
+        f"Exhaustive Bucketing delivers {gain:.1f}x the memory efficiency of "
+        "allocating whole workers, at the cost of a few kill-and-retry cycles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage (installed as ``repro-experiments``, also ``python -m repro.cli``)::
+
+    repro-experiments figure2
+    repro-experiments figure4
+    repro-experiments figure5 --tasks 500 --workers 20
+    repro-experiments figure6
+    repro-experiments table1
+    repro-experiments scaling --tasks 10000
+    repro-experiments ablation
+    repro-experiments hybrid
+    repro-experiments all
+
+Each command prints the reproduced rows/series as plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1
+from repro.experiments import ablation, convergence, hybrid_study, robustness, scaling
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "table1",
+            "scaling",
+            "ablation",
+            "hybrid",
+            "robustness",
+            "convergence",
+            "all",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--tasks", type=int, default=1000, help="tasks per synthetic workflow")
+    parser.add_argument("--workers", type=int, default=20, help="worker pool size")
+    parser.add_argument("--seed", type=int, default=0, help="workflow generation seed")
+    parser.add_argument(
+        "--ramp-up", type=float, default=600.0, help="pool ramp-up window (seconds)"
+    )
+    parser.add_argument("--verbose", action="store_true", help="print per-cell progress")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_tasks=args.tasks,
+        n_workers=args.workers,
+        workflow_seed=args.seed,
+        ramp_up_seconds=args.ramp_up,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _config(args)
+    targets = (
+        ["figure2", "figure3", "figure4", "figure5", "figure6", "table1"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for target in targets:
+        if target == "figure2":
+            print(figure2.render(figure2.run(seed=args.seed)))
+        elif target == "figure3":
+            print(figure3.render(figure3.run(seed=args.seed)))
+        elif target == "figure4":
+            print(figure4.render(figure4.run(n_tasks=args.tasks, seed=args.seed)))
+        elif target == "figure5":
+            print(figure5.render(figure5.run(config=config, verbose=args.verbose)))
+        elif target == "figure6":
+            print(figure6.render(figure6.run(config=config, verbose=args.verbose)))
+        elif target == "table1":
+            print(table1.render(table1.run()))
+        elif target == "scaling":
+            counts = [c for c in (500, 1000, 2000, 5000, 10000) if c <= args.tasks] or [args.tasks]
+            print(scaling.render(scaling.run(task_counts=counts, config=config.with_(n_tasks=1000))))
+        elif target == "ablation":
+            print(ablation.render(ablation.run(config)))
+        elif target == "hybrid":
+            print(hybrid_study.render(hybrid_study.run(config)))
+        elif target == "robustness":
+            print(robustness.render_seed_sweep(robustness.run_seed_sweep(config)))
+        elif target == "convergence":
+            print(convergence.render(convergence.run(config)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

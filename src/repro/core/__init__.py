@@ -1,0 +1,80 @@
+"""Core allocation algorithms and the adaptive resource allocator.
+
+This subpackage contains the paper's primary contribution:
+
+* :mod:`repro.core.resources` — the resource model (cores, memory, disk,
+  wall time, and user-registered resource kinds) and ``ResourceVector``.
+* :mod:`repro.core.records` — significance-weighted resource records of
+  completed tasks and the sorted, numpy-backed ``RecordList``.
+* :mod:`repro.core.buckets` — ``Bucket`` / ``BucketState``: the partition
+  of a record list used to derive probabilistic allocations.
+* :mod:`repro.core.cost` — expected-waste cost kernels shared by the two
+  bucketing algorithms (vectorized, with pure-Python references).
+* :mod:`repro.core.greedy` — Greedy Bucketing (Algorithm 1).
+* :mod:`repro.core.exhaustive` — Exhaustive Bucketing (Algorithm 2).
+* :mod:`repro.core.baselines` — Whole Machine and Max Seen.
+* :mod:`repro.core.tovar` — Min Waste and Max Throughput job sizing
+  (Tovar et al., TPDS 2018).
+* :mod:`repro.core.quantized` — Quantized Bucketing (Phung et al.,
+  WORKS 2021).
+* :mod:`repro.core.hybrid` — the Quantized-then-Bucketing switchover the
+  paper suggests for outlier-poisoned startups.
+* :mod:`repro.core.allocator` — the task-oriented allocator that maintains
+  one algorithm instance per (task category, resource) pair, runs the
+  exploratory bootstrap, and applies the retry/doubling policy.
+"""
+
+from repro.core.resources import Resource, ResourceVector
+from repro.core.records import ResourceRecord, RecordList
+from repro.core.buckets import Bucket, BucketState
+from repro.core.base import AllocationAlgorithm, make_algorithm, ALGORITHM_REGISTRY
+from repro.core.greedy import GreedyBucketing
+from repro.core.exhaustive import ExhaustiveBucketing
+from repro.core.baselines import WholeMachine, MaxSeen
+from repro.core.tovar import MinWaste, MaxThroughput
+from repro.core.quantized import QuantizedBucketing
+from repro.core.kmeans import KMeansBucketing
+from repro.core.hybrid import HybridBucketing
+from repro.core.allocator import (
+    TaskOrientedAllocator,
+    ExploratoryConfig,
+    AllocatorConfig,
+)
+from repro.core.significance import (
+    SignificancePolicy,
+    TaskIdSignificance,
+    UniformSignificance,
+    ExponentialDecaySignificance,
+    WindowSignificance,
+    make_significance_policy,
+)
+
+__all__ = [
+    "Resource",
+    "ResourceVector",
+    "ResourceRecord",
+    "RecordList",
+    "Bucket",
+    "BucketState",
+    "AllocationAlgorithm",
+    "make_algorithm",
+    "ALGORITHM_REGISTRY",
+    "GreedyBucketing",
+    "ExhaustiveBucketing",
+    "WholeMachine",
+    "MaxSeen",
+    "MinWaste",
+    "MaxThroughput",
+    "QuantizedBucketing",
+    "KMeansBucketing",
+    "HybridBucketing",
+    "TaskOrientedAllocator",
+    "ExploratoryConfig",
+    "AllocatorConfig",
+    "SignificancePolicy",
+    "TaskIdSignificance",
+    "UniformSignificance",
+    "ExponentialDecaySignificance",
+    "WindowSignificance",
+    "make_significance_policy",
+]

@@ -1,0 +1,456 @@
+"""The task-oriented adaptive resource allocator.
+
+This module implements the ``Allocator`` sketched in Section IV-D: one
+algorithm instance per (task category, resource) pair — categories are
+allocated *independently* because "different categories don't
+necessarily show a correlation in resource consumption" (Section
+III-B) — plus the two policies the algorithms themselves leave open:
+
+* **Exploratory mode** (Section V-A): until a category has produced
+  ``min_records`` (10) completed records, tasks get a predefined
+  allocation.  Bucketing algorithms use the conservative
+  1 core / 1 GB memory / 1 GB disk bootstrap with doubling retries; the
+  alternative algorithms allocate a whole machine (Section V-C).
+* **Doubling fallback** (Section IV-A): when a retry exhausts the
+  algorithm's guidance (no bucket representative above the failed
+  allocation), the task's allocation is doubled from its previous peak
+  until it succeeds.
+
+The allocator is deliberately free of any workflow- or simulator-
+specific coupling: callers drive it with three calls —
+:meth:`TaskOrientedAllocator.allocate`,
+:meth:`TaskOrientedAllocator.allocate_retry`, and
+:meth:`TaskOrientedAllocator.observe` — which is exactly the bucketing
+manager's interface in Figure 3a.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm, make_algorithm
+from repro.core.significance import SignificancePolicy, make_significance_policy
+from repro.core.resources import (
+    CORES,
+    DISK,
+    EVALUATED_RESOURCES,
+    MEMORY,
+    PAPER_EXPLORATORY_ALLOCATION,
+    PAPER_WORKER_CAPACITY,
+    TIME,
+    Resource,
+    ResourceVector,
+)
+
+__all__ = [
+    "ExploratoryConfig",
+    "AllocatorConfig",
+    "TaskOrientedAllocator",
+    "DEFAULT_MAX_SEEN_GRANULARITY",
+]
+
+#: Histogram granularity the Max Seen implementation uses per resource
+#: (Section V-C names 250 for the MB-denominated resources; a whole core
+#: for cores; exact values for time).
+DEFAULT_MAX_SEEN_GRANULARITY: Mapping[Resource, float] = {
+    CORES: 1.0,
+    MEMORY: 250.0,
+    DISK: 250.0,
+    TIME: 0.0,
+}
+
+#: Exploratory fallbacks for resources that have neither an exploratory
+#: component nor a machine capacity.  Wall time is the canonical case:
+#: workers do not have a "time capacity", so both lookups come back
+#: zero, and a zero-second allowance would kill every bootstrap task on
+#: arrival.  One hour matches common batch-system defaults.
+DEFAULT_EXPLORATORY_FALLBACKS: Mapping[Resource, float] = {
+    TIME: 3600.0,
+}
+
+
+@dataclass(frozen=True)
+class ExploratoryConfig:
+    """Bootstrap policy for a category with too few records.
+
+    Attributes
+    ----------
+    min_records:
+        Completed records required before the algorithm's predictions
+        take over (the paper collects 10).
+    allocation:
+        The conservative exploratory allocation (the paper's
+        1 core / 1 GB / 1 GB).  Resources missing from this vector fall
+        back to the machine capacity.
+    mode:
+        ``"auto"`` — conservative for algorithms flagged
+        ``conservative_exploration`` (the bucketing family), whole
+        machine otherwise, matching the paper's setup;
+        ``"conservative"`` / ``"whole_machine"`` force one policy for
+        every algorithm (ablation hook E-X2).
+    explore_concurrency:
+        Maximum tasks of a category allowed to *run concurrently* while
+        the category is still exploring; further ready tasks wait so
+        they can benefit from the first records instead of burning
+        bootstrap allocations.  Without this bound, an idle pool plus a
+        deep queue dispatches the whole workflow at the bootstrap
+        allocation before the tenth record lands — an exploration storm
+        the paper's bounded "exploratory mode" clearly does not exhibit.
+        ``None`` defaults to ``max(1, min_records)``; pass a large value
+        to disable the gate (storm-behaviour studies do).
+    """
+
+    min_records: int = 10
+    allocation: ResourceVector = PAPER_EXPLORATORY_ALLOCATION
+    mode: str = "auto"
+    explore_concurrency: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_records < 0:
+            raise ValueError(f"min_records must be >= 0, got {self.min_records}")
+        if self.mode not in ("auto", "conservative", "whole_machine"):
+            raise ValueError(f"unknown exploratory mode: {self.mode!r}")
+        if self.explore_concurrency is not None and self.explore_concurrency < 1:
+            raise ValueError(
+                f"explore_concurrency must be >= 1, got {self.explore_concurrency}"
+            )
+
+    @property
+    def effective_explore_concurrency(self) -> int:
+        if self.explore_concurrency is not None:
+            return self.explore_concurrency
+        return max(1, self.min_records)
+
+    def is_conservative_for(self, algorithm_cls: type) -> bool:
+        if self.mode == "conservative":
+            return True
+        if self.mode == "whole_machine":
+            return False
+        return bool(getattr(algorithm_cls, "conservative_exploration", False))
+
+
+@dataclass(frozen=True)
+class AllocatorConfig:
+    """Full configuration of a :class:`TaskOrientedAllocator`.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the allocation algorithm driving every
+        (category, resource) state.
+    algorithm_kwargs:
+        Extra constructor arguments for the algorithm.
+    per_resource_kwargs:
+        Per-resource-key overrides merged over ``algorithm_kwargs``
+        (e.g. ``{"memory": {"granularity": 500}}``).
+    resources:
+        The resources to manage; defaults to the paper's evaluated three
+        (cores, memory, disk).  Add :data:`~repro.core.resources.TIME`
+        or registered custom resources to extend.
+    machine_capacity:
+        A full worker's capacity, used by Whole Machine, the
+        whole-machine exploratory policy, and the allocation clamp.
+    exploratory:
+        The bootstrap policy.
+    doubling_factor:
+        Growth factor of the doubling fallback (2.0 in the paper).
+    clamp_to_capacity:
+        Whether predicted/doubled allocations are capped at the machine
+        capacity (a task can never be given more than one worker).
+    significance:
+        Recency-weighting policy for completed-task records, by registry
+        name (``"task_id"`` — the paper's setting — ``"uniform"``,
+        ``"exponential_decay"``, ``"window"``) or as a
+        :class:`~repro.core.significance.SignificancePolicy` instance.
+        Only consulted when ``observe`` is called without an explicit
+        significance.
+    seed:
+        Seed for the allocator-owned RNG driving probabilistic bucket
+        draws; child generators are spawned per algorithm instance so
+        runs are reproducible regardless of category arrival order.
+    """
+
+    algorithm: str = "exhaustive_bucketing"
+    algorithm_kwargs: Mapping = field(default_factory=dict)
+    per_resource_kwargs: Mapping[str, Mapping] = field(default_factory=dict)
+    resources: Tuple[Resource, ...] = EVALUATED_RESOURCES
+    machine_capacity: ResourceVector = PAPER_WORKER_CAPACITY
+    exploratory: ExploratoryConfig = field(default_factory=ExploratoryConfig)
+    doubling_factor: float = 2.0
+    clamp_to_capacity: bool = True
+    significance: object = "task_id"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHM_REGISTRY:
+            raise KeyError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"registered: {sorted(ALGORITHM_REGISTRY)}"
+            )
+        if not self.resources:
+            raise ValueError("at least one resource must be managed")
+        if self.doubling_factor <= 1.0:
+            raise ValueError(
+                f"doubling_factor must exceed 1, got {self.doubling_factor}"
+            )
+
+    def with_algorithm(self, algorithm: str, **algorithm_kwargs) -> "AllocatorConfig":
+        """A copy of this config running a different algorithm."""
+        return replace(
+            self, algorithm=algorithm, algorithm_kwargs=algorithm_kwargs
+        )
+
+
+class _CategoryState:
+    """Per-category bookkeeping: one algorithm instance per resource."""
+
+    __slots__ = ("algorithms", "completed_records", "version")
+
+    def __init__(self, algorithms: Dict[Resource, AllocationAlgorithm]) -> None:
+        self.algorithms = algorithms
+        self.completed_records = 0
+        #: Bumped on every observe(); lets schedulers detect that a cached
+        #: prediction for this category went stale.
+        self.version = 0
+
+
+class TaskOrientedAllocator:
+    """Adaptive per-category resource allocator (Figure 3a's manager).
+
+    Examples
+    --------
+    >>> from repro.core.allocator import TaskOrientedAllocator, AllocatorConfig
+    >>> alloc = TaskOrientedAllocator(AllocatorConfig(
+    ...     algorithm="greedy_bucketing", seed=7))
+    >>> first = alloc.allocate("proc", task_id=0)     # exploratory
+    >>> first["cores"], first["memory"]
+    (1.0, 1000.0)
+    """
+
+    def __init__(self, config: Optional[AllocatorConfig] = None, **overrides) -> None:
+        if config is None:
+            config = AllocatorConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self._config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._categories: Dict[str, _CategoryState] = {}
+        algorithm_cls = ALGORITHM_REGISTRY[config.algorithm]
+        self._conservative = config.exploratory.is_conservative_for(algorithm_cls)
+        if isinstance(config.significance, SignificancePolicy):
+            self._significance_policy = config.significance
+        else:
+            self._significance_policy = make_significance_policy(str(config.significance))
+        self._deterministic = bool(
+            getattr(algorithm_cls, "deterministic_predictions", False)
+        )
+        #: category -> (state version, cached prediction vector); only
+        #: used for deterministic algorithms, where repeated allocate()
+        #: calls against an unchanged state must return the same vector.
+        self._prediction_cache: Dict[str, Tuple[int, ResourceVector]] = {}
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def config(self) -> AllocatorConfig:
+        return self._config
+
+    @property
+    def algorithm_name(self) -> str:
+        return self._config.algorithm
+
+    @property
+    def conservative_exploration(self) -> bool:
+        """Whether this allocator bootstraps conservatively (bucketing)."""
+        return self._conservative
+
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(self._categories)
+
+    def algorithm(self, category: str, resource: Resource) -> AllocationAlgorithm:
+        """The live algorithm instance for one (category, resource) pair."""
+        return self._state(category).algorithms[resource]
+
+    def records_count(self, category: str) -> int:
+        """Completed records observed for a category."""
+        state = self._categories.get(category)
+        return state.completed_records if state is not None else 0
+
+    def in_exploration(self, category: str) -> bool:
+        """True while the category is still in exploratory mode."""
+        return self.records_count(category) < self._config.exploratory.min_records
+
+    def version(self, category: str) -> int:
+        """Monotone counter bumped whenever a category learns something.
+
+        Schedulers cache a queued task's predicted allocation together
+        with this version and refresh the prediction when it changes —
+        so a task that waited in the queue through the end of the
+        exploratory phase is dispatched with a *current* prediction,
+        which is what "allocation at dispatch time" means.
+        """
+        state = self._categories.get(category)
+        return state.version if state is not None else 0
+
+    # -- the three calls of Figure 3a ------------------------------------------------
+
+    def allocate(self, category: str, task_id: int) -> ResourceVector:
+        """First-attempt allocation for a fresh task of ``category``."""
+        state = self._state(category)
+        if self._deterministic:
+            cached = self._prediction_cache.get(category)
+            if cached is not None and cached[0] == state.version:
+                return cached[1]
+        values: Dict[Resource, float] = {}
+        exploring = self.in_exploration(category)
+        for res in self._config.resources:
+            if exploring:
+                values[res] = self._exploratory_value(res)
+                continue
+            predicted = state.algorithms[res].predict()
+            if predicted is None:
+                # Algorithm has no guidance (e.g. min_records == 0 and no
+                # completions yet): fall back to the exploratory value.
+                predicted = self._exploratory_value(res)
+            values[res] = self._clamp(res, predicted)
+        vector = ResourceVector(values)
+        if self._deterministic:
+            self._prediction_cache[category] = (state.version, vector)
+        return vector
+
+    def allocate_retry(
+        self,
+        category: str,
+        task_id: int,
+        previous: ResourceVector,
+        observed: ResourceVector,
+        exhausted: Tuple[Resource, ...],
+    ) -> ResourceVector:
+        """Re-allocation after ``previous`` was exhausted.
+
+        ``observed`` is the consumption recorded up to the kill;
+        ``exhausted`` names the resources that hit their limit.  Only
+        exhausted resources grow — the others keep their previous
+        allocation, as growing them would manufacture fragmentation.
+        """
+        if not exhausted:
+            raise ValueError("allocate_retry requires at least one exhausted resource")
+        state = self._state(category)
+        values: Dict[Resource, float] = {r: previous[r] for r in self._config.resources}
+        for res in exhausted:
+            if res not in values:
+                raise KeyError(f"resource {res.key} is not managed by this allocator")
+            prev_value = previous[res]
+            peak = observed[res]
+            suggestion: Optional[float] = None
+            if not self.in_exploration(category):
+                suggestion = state.algorithms[res].predict_retry(prev_value, peak)
+            if suggestion is None:
+                suggestion = self._double(prev_value, peak, res)
+            values[res] = self._clamp(res, max(suggestion, prev_value))
+            if values[res] <= prev_value and values[res] < self._config.machine_capacity[res]:
+                # Clamping or a degenerate suggestion failed to grow the
+                # allocation; force progress with one doubling step.
+                values[res] = self._clamp(res, self._double(prev_value, peak, res))
+        return ResourceVector(values)
+
+    def observe(
+        self,
+        category: str,
+        peaks: ResourceVector,
+        task_id: int,
+        significance: Optional[float] = None,
+    ) -> None:
+        """Ingest a *successfully completed* task's peak consumption.
+
+        When ``significance`` is not given, the configured policy
+        supplies it — the default ``task_id`` policy reproduces the
+        paper's "significance = task ID" rule (IDs counted from 1;
+        Section V-A).
+        """
+        if significance is None:
+            significance = self._significance_policy.significance(task_id)
+        state = self._state(category)
+        for res in self._config.resources:
+            state.algorithms[res].update(
+                peaks[res], significance=significance, task_id=task_id
+            )
+        state.completed_records += 1
+        state.version += 1
+
+    # -- internals -----------------------------------------------------------------
+
+    def _state(self, category: str) -> _CategoryState:
+        state = self._categories.get(category)
+        if state is None:
+            algorithms = {
+                res: self._make_algorithm(res) for res in self._config.resources
+            }
+            state = _CategoryState(algorithms)
+            self._categories[category] = state
+        return state
+
+    def _make_algorithm(self, res: Resource) -> AllocationAlgorithm:
+        cfg = self._config
+        kwargs = dict(cfg.algorithm_kwargs)
+        kwargs.update(cfg.per_resource_kwargs.get(res.key, {}))
+        cls = ALGORITHM_REGISTRY[cfg.algorithm]
+        accepted = inspect.signature(cls.__init__).parameters
+        # Wire well-known parameters the algorithm accepts but the caller
+        # did not pin: worker capacity and the Max Seen histogram width.
+        if "capacity" in accepted and "capacity" not in kwargs:
+            kwargs["capacity"] = cfg.machine_capacity[res]
+        if "granularity" in accepted and "granularity" not in kwargs:
+            kwargs["granularity"] = DEFAULT_MAX_SEEN_GRANULARITY.get(res, 0.0)
+        if "rng" in accepted and "rng" not in kwargs:
+            # Independent child generator per instance: reproducible and
+            # insensitive to the order categories first appear.
+            kwargs["rng"] = np.random.default_rng(self._rng.integers(2**63))
+        return cls(**kwargs)
+
+    def _exploratory_value(self, res: Resource) -> float:
+        capacity = self._config.machine_capacity[res]
+        if not self._conservative:
+            if capacity <= 0.0:
+                # Capacity-less resource (wall time): use the fallback.
+                return DEFAULT_EXPLORATORY_FALLBACKS.get(res, 0.0)
+            return capacity
+        value = self._config.exploratory.allocation[res]
+        if value <= 0.0:
+            # The conservative vector does not cover this resource (e.g.
+            # a registered GPU kind): explore with the full capacity,
+            # or the per-resource fallback for capacity-less resources.
+            value = capacity if capacity > 0.0 else DEFAULT_EXPLORATORY_FALLBACKS.get(res, 0.0)
+        return self._clamp(res, value)
+
+    def _double(self, prev_value: float, peak: float, res: Resource) -> float:
+        base = max(prev_value, peak)
+        if base <= 0.0:
+            base = (
+                self._config.exploratory.allocation[res]
+                or DEFAULT_EXPLORATORY_FALLBACKS.get(res, 0.0)
+                or 1.0
+            )
+        return base * self._config.doubling_factor
+
+    def _clamp(self, res: Resource, value: float) -> float:
+        if not self._config.clamp_to_capacity:
+            return value
+        capacity = self._config.machine_capacity[res]
+        if capacity <= 0.0:
+            return value
+        return min(value, capacity)
+
+    def reset(self) -> None:
+        """Forget every category's state (between experiment repeats)."""
+        self._categories.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskOrientedAllocator(algorithm={self._config.algorithm!r}, "
+            f"categories={len(self._categories)})"
+        )

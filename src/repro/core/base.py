@@ -1,0 +1,238 @@
+"""Common interface for per-resource allocation algorithms.
+
+Every algorithm in the paper's evaluation — the two bucketing algorithms
+and the five alternatives — fits the same tiny contract, which mirrors
+the two interactions of Figure 3a:
+
+* :meth:`AllocationAlgorithm.update` — a completed task's resource
+  record arrives (arrow 6 in the figure);
+* :meth:`AllocationAlgorithm.predict` — the task scheduler asks for the
+  allocation of a fresh task (arrows 2-3);
+* :meth:`AllocationAlgorithm.predict_retry` — the scheduler asks for a
+  re-allocation after a resource-exhaustion failure.
+
+``predict``/``predict_retry`` return ``None`` when the algorithm has no
+guidance; the :class:`~repro.core.allocator.TaskOrientedAllocator` then
+applies the exploratory default or the doubling fallback (Section IV-A /
+V-A).  One instance manages one (task category, resource) pair, which is
+what makes the approach *general-purpose*: nothing but scalar consumption
+records ever crosses the interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar, Dict, Optional, Type
+
+import numpy as np
+
+from repro.core.buckets import BucketState
+from repro.core.records import RecordList, ResourceRecord
+
+__all__ = [
+    "AllocationAlgorithm",
+    "BucketingAlgorithm",
+    "ALGORITHM_REGISTRY",
+    "register_algorithm",
+    "make_algorithm",
+]
+
+
+class AllocationAlgorithm(abc.ABC):
+    """Per-(category, resource) allocation policy.
+
+    Subclasses must set the class attribute :attr:`name` (the identifier
+    used in the registry, experiment configs and result tables) and
+    implement :meth:`update` and :meth:`predict`.
+    """
+
+    #: Registry/reporting identifier, e.g. ``"greedy_bucketing"``.
+    name: ClassVar[str] = ""
+
+    #: Whether the allocator should bootstrap this algorithm with the
+    #: conservative exploratory allocation (1 core / 1 GB / 1 GB with
+    #: doubling retries, Section V-A).  The paper's alternatives instead
+    #: "allocate a whole machine" while exploring (Section V-C), so this
+    #: defaults to False and the bucketing algorithms flip it.
+    conservative_exploration: ClassVar[bool] = False
+
+    #: Whether predict() is a pure function of the ingested records.
+    #: True for the histogram/optimizer algorithms, letting the
+    #: allocator cache one prediction per (category, state-version);
+    #: False for the bucketing family, whose predictions are fresh
+    #: probabilistic draws per request.
+    deterministic_predictions: ClassVar[bool] = True
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # -- the contract -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
+        """Ingest a completed task's peak consumption of this resource."""
+
+    @abc.abstractmethod
+    def predict(self) -> Optional[float]:
+        """Allocation for a fresh task, or ``None`` if no guidance yet."""
+
+    def predict_retry(
+        self, previous_allocation: float, observed_peak: float
+    ) -> Optional[float]:
+        """Allocation after the previous attempt exhausted its limit.
+
+        ``observed_peak`` is the consumption observed before the kill
+        (a lower bound on the task's true demand).  The default asks
+        :meth:`predict` and keeps doubling the previous allocation on top
+        of it until the answer actually exceeds both the previous
+        allocation and the observed peak; subclasses with retry structure
+        (the bucketing algorithms) override this.  Returning ``None``
+        delegates to the allocator's doubling fallback.
+        """
+        prediction = self.predict()
+        if prediction is None:
+            return None
+        if prediction > max(previous_allocation, observed_peak):
+            return prediction
+        return None
+
+    # -- shared conveniences ------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n_records(self) -> int:
+        """How many completed-task records the algorithm has ingested."""
+
+    def reset(self) -> None:
+        """Forget all ingested records (used between experiment repeats)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(records={self.n_records})"
+
+
+class BucketingAlgorithm(AllocationAlgorithm):
+    """Shared machinery of Greedy and Exhaustive Bucketing.
+
+    Maintains the sorted significance-weighted record list, rebuilds the
+    bucket state *lazily* — a burst of completions with no interleaved
+    allocation request triggers exactly one recomputation, the batching
+    behaviour discussed with Table I (Section V-C) — and implements the
+    shared prediction rules of Section IV-A on top of
+    :class:`~repro.core.buckets.BucketState`.
+
+    Subclasses implement :meth:`compute_break_indices`, returning the
+    sorted inclusive upper-end record indices of each bucket.
+    """
+
+    conservative_exploration: ClassVar[bool] = True
+    deterministic_predictions: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        record_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        self._records = RecordList(capacity=record_capacity)
+        self._state: Optional[BucketState] = None
+        self._dirty = True
+        self._recomputations = 0
+
+    # -- subclass hook ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def compute_break_indices(self, records: RecordList) -> list:
+        """Partition the record list; return sorted bucket-end indices."""
+
+    # -- contract ----------------------------------------------------------------
+
+    def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
+        self._records.add(value=value, significance=significance, task_id=task_id)
+        self._dirty = True
+
+    def predict(self) -> Optional[float]:
+        state = self.state
+        if state is None:
+            return None
+        return state.first_allocation(self._rng)
+
+    def predict_retry(
+        self, previous_allocation: float, observed_peak: float
+    ) -> Optional[float]:
+        state = self.state
+        if state is None:
+            return None
+        floor = max(previous_allocation, observed_peak)
+        return state.retry_allocation(floor, self._rng)
+
+    # -- state management -----------------------------------------------------------
+
+    @property
+    def state(self) -> Optional[BucketState]:
+        """Current bucket state, recomputed on demand; None if no records."""
+        if not self._records:
+            return None
+        if self._dirty or self._state is None:
+            breaks = self.compute_break_indices(self._records)
+            self._state = BucketState(self._records, breaks)
+            self._dirty = False
+            self._recomputations += 1
+        return self._state
+
+    @property
+    def records(self) -> RecordList:
+        return self._records
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def recomputations(self) -> int:
+        """How many times the bucket state was actually rebuilt."""
+        return self._recomputations
+
+    def reset(self) -> None:
+        self._records = RecordList(capacity=self._records.capacity)
+        self._state = None
+        self._dirty = True
+        self._recomputations = 0
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Maps algorithm name -> class for every registered algorithm.
+ALGORITHM_REGISTRY: Dict[str, Type[AllocationAlgorithm]] = {}
+
+
+def register_algorithm(
+    cls: Type[AllocationAlgorithm],
+) -> Type[AllocationAlgorithm]:
+    """Class decorator: add an algorithm to :data:`ALGORITHM_REGISTRY`."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty `name`")
+    existing = ALGORITHM_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"algorithm name {cls.name!r} already registered by {existing}")
+    ALGORITHM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_algorithm(name: str, **kwargs) -> AllocationAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    >>> from repro.core.base import make_algorithm
+    >>> algo = make_algorithm("greedy_bucketing")
+    >>> algo.name
+    'greedy_bucketing'
+    """
+    try:
+        cls = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {sorted(ALGORITHM_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,230 @@
+"""Buckets and bucketing states.
+
+A *bucketing state* partitions the sorted record list into contiguous
+intervals ("buckets").  Each bucket is reduced to (Section IV-A):
+
+* a **representative value** — the maximum record value in the bucket,
+  which is what gets allocated when the bucket is chosen;
+* a **probability value** — the bucket's share of total significance;
+* a **consumption estimate** — the significance-weighted mean value,
+  used by the cost kernels as the expected consumption of a task that
+  falls in the bucket.
+
+Prediction (shared by Greedy and Exhaustive Bucketing):
+
+* a fresh task is allocated the representative of a bucket drawn at
+  random with the probability values;
+* a task that exhausted its previous allocation is re-allocated from the
+  buckets whose representative exceeds the previous allocation, with
+  probabilities renormalized over that suffix;
+* if no such bucket exists (the previous allocation was already the
+  largest representative), the caller falls back to doubling the task's
+  previous peak until it succeeds (Section IV-A) — that fallback lives in
+  the allocator, signalled here by returning ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.records import RecordList
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One interval of the sorted record list, reduced to three numbers.
+
+    Attributes
+    ----------
+    lo, hi:
+        Inclusive record-index range [lo, hi] in the originating
+        :class:`~repro.core.records.RecordList`.
+    rep:
+        Representative value: max record value in the bucket.
+    prob:
+        Probability value: the bucket's significance share in [0, 1].
+    estimate:
+        Significance-weighted mean record value (expected consumption of
+        a task falling in this bucket).
+    """
+
+    lo: int
+    hi: int
+    rep: float
+    prob: float
+    estimate: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty bucket range [{self.lo}, {self.hi}]")
+        if not (0.0 <= self.prob <= 1.0 + 1e-12):
+            raise ValueError(f"bucket probability out of range: {self.prob}")
+        if self.estimate > self.rep + 1e-9 * max(1.0, abs(self.rep)):
+            raise ValueError(
+                f"bucket estimate {self.estimate} exceeds representative {self.rep}"
+            )
+
+    @property
+    def count(self) -> int:
+        """Number of records in the bucket."""
+        return self.hi - self.lo + 1
+
+
+class BucketState:
+    """An immutable partition of a record list into buckets.
+
+    Built from a record list and a sorted sequence of *break indices*:
+    the inclusive upper-end record index of every bucket except that the
+    last break index must be ``len(records) - 1`` (every record belongs
+    to exactly one bucket).  ``BucketState.single(records)`` builds the
+    one-bucket state.
+    """
+
+    __slots__ = ("_buckets", "_reps", "_probs", "_estimates", "_cumprobs", "_n_records")
+
+    def __init__(self, records: RecordList, break_indices: Sequence[int]) -> None:
+        n = len(records)
+        if n == 0:
+            raise ValueError("cannot build a BucketState from an empty record list")
+        breaks = list(break_indices)
+        if not breaks:
+            raise ValueError("break_indices must contain at least the last index")
+        if breaks != sorted(set(breaks)):
+            raise ValueError(f"break indices must be strictly increasing: {breaks}")
+        if breaks[-1] != n - 1:
+            raise ValueError(
+                f"last break index must be {n - 1} (got {breaks[-1]}): every "
+                "record must fall in a bucket"
+            )
+        if breaks[0] < 0:
+            raise IndexError(f"negative break index: {breaks[0]}")
+
+        total_sig = records.total_significance()
+        buckets: List[Bucket] = []
+        lo = 0
+        for hi in breaks:
+            rep = records.max_value(lo, hi)
+            # The prefix-sum weighted mean can exceed the bucket max by a
+            # few ulps through cancellation; clamp, since the estimate is
+            # a mean of values that are all <= rep by construction.
+            estimate = min(records.weighted_mean(lo, hi), rep)
+            buckets.append(
+                Bucket(
+                    lo=lo,
+                    hi=hi,
+                    rep=rep,
+                    prob=records.sig_sum(lo, hi) / total_sig,
+                    estimate=estimate,
+                )
+            )
+            lo = hi + 1
+        self._buckets: Tuple[Bucket, ...] = tuple(buckets)
+        self._reps = np.array([b.rep for b in buckets], dtype=np.float64)
+        self._probs = np.array([b.prob for b in buckets], dtype=np.float64)
+        self._estimates = np.array([b.estimate for b in buckets], dtype=np.float64)
+        # Normalized cumulative probabilities for O(log n) inverse-CDF
+        # draws — the allocator draws once per dispatch, so this is a
+        # hot path in large simulations.
+        cum = np.cumsum(self._probs)
+        cum /= cum[-1]
+        self._cumprobs = cum
+        self._n_records = n
+
+    @staticmethod
+    def single(records: RecordList) -> "BucketState":
+        """The trivial state with one bucket containing every record."""
+        return BucketState(records, [len(records) - 1])
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        return self._buckets
+
+    @property
+    def reps(self) -> np.ndarray:
+        """Representative values, ascending (read-only view)."""
+        return self._reps
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Probability values, summing to 1 (read-only view)."""
+        return self._probs
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """Weighted-mean consumption estimates per bucket."""
+        return self._estimates
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __getitem__(self, index: int) -> Bucket:
+        return self._buckets[index]
+
+    def __repr__(self) -> str:
+        reps = ", ".join(f"{b.rep:g}@{b.prob:.3f}" for b in self._buckets)
+        return f"BucketState([{reps}])"
+
+    # -- prediction ---------------------------------------------------------------
+
+    def choose_bucket(self, rng: np.random.Generator) -> Bucket:
+        """Draw a bucket with the probability values (Section IV-A)."""
+        idx = int(np.searchsorted(self._cumprobs, rng.random(), side="right"))
+        idx = min(idx, len(self._buckets) - 1)
+        return self._buckets[idx]
+
+    def first_allocation(self, rng: np.random.Generator) -> float:
+        """Allocation for a fresh task: the drawn bucket's representative."""
+        return self.choose_bucket(rng).rep
+
+    def retry_allocation(
+        self, previous_allocation: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Allocation after a resource-exhaustion failure.
+
+        Only buckets with a representative strictly greater than the
+        previous allocation are considered, with probabilities
+        renormalized over them.  Returns ``None`` when the previous
+        allocation already matched or exceeded the largest
+        representative — the caller must then fall back to doubling the
+        task's observed peak (Section IV-A).
+        """
+        # Representatives ascend, so the eligible buckets are a suffix.
+        first = int(np.searchsorted(self._reps, previous_allocation, side="right"))
+        n = len(self._buckets)
+        if first >= n:
+            return None
+        if first == n - 1:
+            return float(self._reps[-1])
+        probs = self._probs[first:]
+        cum = np.cumsum(probs)
+        total = cum[-1]
+        if total <= 0.0:
+            # Degenerate (all significance in lower buckets): take the
+            # first eligible representative.
+            return float(self._reps[first])
+        idx = first + int(np.searchsorted(cum / total, rng.random(), side="right"))
+        idx = min(idx, n - 1)
+        return float(self._reps[idx])
+
+    # -- invariant helper (used by tests and debug assertions) ----------------------
+
+    def validate(self) -> None:
+        """Raise AssertionError if any structural invariant is violated."""
+        assert self._buckets, "state must have at least one bucket"
+        assert abs(self._probs.sum() - 1.0) < 1e-9, "probabilities must sum to 1"
+        assert self._buckets[0].lo == 0
+        assert self._buckets[-1].hi == self._n_records - 1
+        for prev, cur in zip(self._buckets, self._buckets[1:]):
+            assert cur.lo == prev.hi + 1, "buckets must tile the record list"
+            assert cur.rep >= prev.rep, "representatives must be non-decreasing"
+        for b in self._buckets:
+            assert b.estimate <= b.rep + 1e-9, "estimate cannot exceed representative"

@@ -1,0 +1,146 @@
+"""Allocator diagnostics: watch bucket states evolve.
+
+Answers the questions a practitioner asks when an allocation policy
+misbehaves: *how many buckets does the state hold over time?  where are
+the representatives?  how often does the state actually change?*  The
+paper's observation that "the number of buckets rarely exceeds 10"
+(Section V-A) is exactly this kind of measurement.
+
+:class:`StateProbe` wraps one bucketing algorithm instance and records
+a snapshot after every update (or every ``stride`` updates);
+:class:`AllocatorProbe` attaches probes to every (category, resource)
+state of a :class:`~repro.core.allocator.TaskOrientedAllocator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocator import TaskOrientedAllocator
+from repro.core.base import AllocationAlgorithm, BucketingAlgorithm
+from repro.core.resources import Resource
+
+__all__ = ["StateSnapshot", "StateProbe", "AllocatorProbe"]
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """One observation of a bucketing state."""
+
+    n_records: int
+    n_buckets: int
+    reps: Tuple[float, ...]
+    probs: Tuple[float, ...]
+
+    @property
+    def top_rep(self) -> float:
+        return self.reps[-1] if self.reps else 0.0
+
+    @property
+    def expected_allocation(self) -> float:
+        """Probability-weighted mean of the representatives."""
+        return sum(r * p for r, p in zip(self.reps, self.probs))
+
+
+class StateProbe:
+    """Snapshot a bucketing algorithm's state as records arrive.
+
+    Wraps ``update`` so every ``stride``-th record triggers a state
+    recomputation and a snapshot.  Probing is intrusive by design — it
+    defeats the lazy-recompute batching — so use it for analysis runs,
+    not for timing measurements.
+    """
+
+    def __init__(self, algorithm: BucketingAlgorithm, stride: int = 1) -> None:
+        if not isinstance(algorithm, BucketingAlgorithm):
+            raise TypeError(
+                f"StateProbe requires a bucketing algorithm, got {type(algorithm).__name__}"
+            )
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self._algorithm = algorithm
+        self._stride = stride
+        self._since_snapshot = 0
+        self.snapshots: List[StateSnapshot] = []
+        self._original_update = algorithm.update
+        algorithm.update = self._update  # type: ignore[method-assign]
+
+    def _update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
+        self._original_update(value, significance=significance, task_id=task_id)
+        self._since_snapshot += 1
+        if self._since_snapshot >= self._stride:
+            self._since_snapshot = 0
+            self.snapshot()
+
+    def snapshot(self) -> Optional[StateSnapshot]:
+        """Force a snapshot of the current state (None if no records)."""
+        state = self._algorithm.state
+        if state is None:
+            return None
+        snap = StateSnapshot(
+            n_records=self._algorithm.n_records,
+            n_buckets=len(state),
+            reps=tuple(float(r) for r in state.reps),
+            probs=tuple(float(p) for p in state.probs),
+        )
+        self.snapshots.append(snap)
+        return snap
+
+    def detach(self) -> None:
+        """Restore the unwrapped update method."""
+        self._algorithm.update = self._original_update  # type: ignore[method-assign]
+
+    # -- summaries -------------------------------------------------------------
+
+    def max_buckets_seen(self) -> int:
+        return max((s.n_buckets for s in self.snapshots), default=0)
+
+    def bucket_count_series(self) -> List[int]:
+        return [s.n_buckets for s in self.snapshots]
+
+    def expected_allocation_series(self) -> List[float]:
+        return [s.expected_allocation for s in self.snapshots]
+
+
+class AllocatorProbe:
+    """Probe every bucketing state inside a TaskOrientedAllocator.
+
+    Categories materialize lazily inside the allocator, so the probe
+    wraps ``observe`` and attaches :class:`StateProbe` instances the
+    first time each (category, resource) state receives a record.
+    """
+
+    def __init__(self, allocator: TaskOrientedAllocator, stride: int = 1) -> None:
+        self._allocator = allocator
+        self._stride = stride
+        self.probes: Dict[Tuple[str, Resource], StateProbe] = {}
+        self._original_observe = allocator.observe
+        allocator.observe = self._observe  # type: ignore[method-assign]
+
+    def _observe(self, category, peaks, task_id, significance=None):
+        self._ensure_probes(category)
+        return self._original_observe(
+            category, peaks, task_id, significance=significance
+        )
+
+    def _ensure_probes(self, category: str) -> None:
+        for res in self._allocator.config.resources:
+            key = (category, res)
+            if key in self.probes:
+                continue
+            algorithm = self._allocator.algorithm(category, res)
+            if isinstance(algorithm, BucketingAlgorithm):
+                self.probes[key] = StateProbe(algorithm, stride=self._stride)
+
+    def probe(self, category: str, resource: Resource) -> StateProbe:
+        return self.probes[category, resource]
+
+    def max_buckets_seen(self) -> int:
+        """The paper's 'rarely exceeds 10' measurement, over all states."""
+        return max((p.max_buckets_seen() for p in self.probes.values()), default=0)
+
+    def detach(self) -> None:
+        self._allocator.observe = self._original_observe  # type: ignore[method-assign]
+        for probe in self.probes.values():
+            probe.detach()

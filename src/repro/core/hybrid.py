@@ -1,0 +1,106 @@
+"""Hybrid Quantized-then-Bucketing allocation (Section V-C mitigation).
+
+Analyzing TopEFT's core allocations, the paper observes that "the first
+few outliers" poison the bucketing algorithms' early state and suggests
+the issue "can be mitigated by running Quantized Bucketing initially
+then switching over".  This module implements that switchover as a
+first-class algorithm so the mitigation can be evaluated (experiment
+E-X3 in DESIGN.md).
+
+Both constituent algorithms ingest every record from the start, so the
+successor's state is fully warm at the moment of the handoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import (
+    AllocationAlgorithm,
+    make_algorithm,
+    register_algorithm,
+)
+
+__all__ = ["HybridBucketing"]
+
+
+@register_algorithm
+class HybridBucketing(AllocationAlgorithm):
+    """Delegate to an initial algorithm, switch to a primary one later.
+
+    Parameters
+    ----------
+    initial:
+        Registry name of the warm-up algorithm (default
+        ``"quantized_bucketing"``).
+    primary:
+        Registry name of the steady-state algorithm (default
+        ``"exhaustive_bucketing"``).
+    switch_after:
+        Number of ingested records after which predictions come from the
+        primary algorithm.
+    """
+
+    name = "hybrid_bucketing"
+
+    # The hybrid exists to fix the bucketing algorithms' exploratory
+    # pathology, so it keeps their conservative bootstrap; its steady
+    # state draws buckets probabilistically, so predictions are not
+    # cacheable.
+    conservative_exploration = True
+    deterministic_predictions = False
+
+    def __init__(
+        self,
+        initial: str = "quantized_bucketing",
+        primary: str = "exhaustive_bucketing",
+        switch_after: int = 50,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        if switch_after < 0:
+            raise ValueError(f"switch_after must be >= 0, got {switch_after}")
+        self._initial = make_algorithm(initial, rng=self._rng)
+        self._primary = make_algorithm(primary, rng=self._rng)
+        self._switch_after = switch_after
+        self._n_records = 0
+
+    @property
+    def active(self) -> AllocationAlgorithm:
+        """The algorithm currently answering predictions."""
+        if self._n_records >= self._switch_after:
+            return self._primary
+        return self._initial
+
+    @property
+    def switched(self) -> bool:
+        return self._n_records >= self._switch_after
+
+    @property
+    def switch_after(self) -> int:
+        return self._switch_after
+
+    def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
+        # Feed both so the primary is warm at the handoff.
+        self._initial.update(value, significance=significance, task_id=task_id)
+        self._primary.update(value, significance=significance, task_id=task_id)
+        self._n_records += 1
+
+    def predict(self) -> Optional[float]:
+        return self.active.predict()
+
+    def predict_retry(
+        self, previous_allocation: float, observed_peak: float
+    ) -> Optional[float]:
+        return self.active.predict_retry(previous_allocation, observed_peak)
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    def reset(self) -> None:
+        self._initial.reset()
+        self._primary.reset()
+        self._n_records = 0

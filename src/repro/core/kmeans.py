@@ -1,0 +1,143 @@
+"""K-means bucketing (the other clustering method of Phung et al. 2021).
+
+Reference [11] ("Not all tasks are created equal") clusters task
+resource records two ways: by quantiles
+(:class:`~repro.core.quantized.QuantizedBucketing`) and by 1-D k-means.
+The IPDPS paper evaluates the quantile variant; the k-means variant is
+included here for completeness and as an extra comparison point — it is
+the natural "obvious alternative" to the waste-optimal break-point
+search the bucketing algorithms perform.
+
+1-D k-means is solved with Lloyd's algorithm over the sorted record
+values (deterministic quantile-spread initialization, so predictions
+are reproducible).  Cluster upper bounds become the bucket ladder:
+tasks are first allocated the lowest cluster's maximum and climb on
+failure, mirroring the quantized variant's policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm, register_algorithm
+from repro.core.records import RecordList
+
+__all__ = ["KMeansBucketing", "kmeans_1d"]
+
+
+def kmeans_1d(
+    values: np.ndarray, k: int, max_iterations: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm on sorted 1-D data.
+
+    Returns ``(centroids, labels)`` with centroids ascending and labels
+    aligned with the (sorted) input.  Initialization places centroids at
+    evenly spaced quantiles, which for sorted 1-D data converges to a
+    stable local optimum deterministically.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot cluster an empty value array")
+    k = min(k, np.unique(values).size)
+    quantiles = (np.arange(k) + 0.5) / k
+    centroids = np.quantile(values, quantiles)
+    labels = np.zeros(values.size, dtype=np.intp)
+    for _ in range(max_iterations):
+        # Assign: nearest centroid.  For sorted 1-D data the boundaries
+        # are the centroid midpoints.
+        boundaries = (centroids[:-1] + centroids[1:]) / 2.0
+        new_labels = np.searchsorted(boundaries, values, side="right")
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        # Update: mean of each cluster (empty clusters keep their spot).
+        for j in range(k):
+            members = values[labels == j]
+            if members.size:
+                centroids[j] = members.mean()
+        order = np.argsort(centroids)
+        centroids = centroids[order]
+    return centroids, labels
+
+
+@register_algorithm
+class KMeansBucketing(AllocationAlgorithm):
+    """Cluster records with 1-D k-means; allocate the cluster maxima.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters (reference [11] uses small fixed k; default 3).
+    """
+
+    name = "kmeans_bucketing"
+
+    def __init__(self, k: int = 3, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng=rng)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._records = RecordList()
+        self._reps: Optional[Tuple[float, ...]] = None
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
+        # Like the quantile variant, [11]'s clustering is count-based.
+        self._records.add(value=value, significance=1.0, task_id=task_id)
+        self._reps = None
+
+    def bucket_reps(self) -> Optional[Tuple[float, ...]]:
+        """The ladder of cluster maxima, ascending."""
+        if not self._records:
+            return None
+        if self._reps is None:
+            values = self._records.values
+            _, labels = kmeans_1d(values, self._k)
+            reps: List[float] = []
+            for j in range(labels.max() + 1):
+                members = values[labels == j]
+                if members.size:
+                    reps.append(float(members.max()))
+            deduped: List[float] = []
+            for rep in sorted(reps):
+                if not deduped or rep > deduped[-1]:
+                    deduped.append(rep)
+            self._reps = tuple(deduped)
+        return self._reps
+
+    def predict(self) -> Optional[float]:
+        reps = self.bucket_reps()
+        if reps is None:
+            return None
+        return reps[0]
+
+    def predict_retry(
+        self, previous_allocation: float, observed_peak: float
+    ) -> Optional[float]:
+        reps = self.bucket_reps()
+        if reps is None:
+            return None
+        floor = max(previous_allocation, observed_peak)
+        for rep in reps:
+            if rep > floor:
+                return rep
+        return None
+
+    @property
+    def records(self) -> RecordList:
+        return self._records
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def reset(self) -> None:
+        self._records = RecordList()
+        self._reps = None

@@ -1,0 +1,44 @@
+"""Local process executor: the allocator on *real* tasks.
+
+The simulator (`repro.sim`) reproduces the paper's evaluation; this
+package is the piece a downstream user adopts to run actual Python
+functions under adaptive allocations on one machine, with the same
+semantics the paper assumes (Section II-B):
+
+1. every attempt runs in its own forked process with its **memory
+   allocation enforced** via ``RLIMIT_AS`` — over-consumption raises
+   ``MemoryError`` in the child, which reports its peak RSS and exits
+   with the exhaustion marker;
+2. the **wall-time allocation** (when managed) is enforced by the
+   parent, which terminates the child at the limit;
+3. killed attempts are retried through the
+   :class:`~repro.core.allocator.TaskOrientedAllocator` — bucket-ladder
+   climb or doubling — exactly as in the simulator;
+4. successful attempts report measured peak RSS and runtime, which feed
+   the allocator's records and the efficiency accounting.
+
+Cores are *advisory* on a single machine (the OS scheduler shares them;
+there is no per-process hard cap short of cgroups), so the executor
+tracks core allocations for capacity packing but does not enforce them —
+the same behaviour Work Queue exhibits without cgroup isolation.
+
+Linux-only (relies on ``fork`` and ``RLIMIT_AS``).
+"""
+
+from repro.executor.local import (
+    LocalExecutor,
+    LocalExecutorConfig,
+    LocalTask,
+    LocalAttempt,
+    ExecutionReport,
+    reports_awe,
+)
+
+__all__ = [
+    "LocalExecutor",
+    "LocalExecutorConfig",
+    "LocalTask",
+    "LocalAttempt",
+    "ExecutionReport",
+    "reports_awe",
+]

@@ -1,0 +1,86 @@
+"""Child-process harness: run one attempt under resource limits.
+
+Executed inside the forked child.  Applies the memory limit, runs the
+user callable, measures peak RSS, and reports the outcome over a pipe.
+Kept in its own module (no sim/experiment imports) so the child's
+footprint stays small.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import traceback
+from typing import Any, Callable, Tuple
+
+__all__ = ["run_attempt_in_child", "MB"]
+
+MB = 1024 * 1024
+
+#: Pipe message statuses.
+STATUS_OK = "ok"
+STATUS_MEMORY = "memory_exhausted"
+STATUS_ERROR = "error"
+
+
+def _usage() -> Tuple[float, float]:
+    """(peak RSS in MB, CPU seconds) of this process.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS; this executor
+    is Linux-only, see package docstring).  CPU seconds combine user and
+    system time; the parent divides by wall time to estimate cores used.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_maxrss / 1024.0, usage.ru_utime + usage.ru_stime
+
+
+def run_attempt_in_child(
+    connection,
+    fn: Callable[..., Any],
+    args: Tuple,
+    kwargs: dict,
+    memory_limit_mb: float,
+) -> None:
+    """Entry point of the forked attempt process.
+
+    Applies ``RLIMIT_AS`` (address space) at ``memory_limit_mb``, runs
+    ``fn(*args, **kwargs)``, and sends exactly one message:
+
+    ``(status, peak_rss_mb, cpu_seconds, payload)`` where payload is the
+    return value (``ok``), ``None`` (``memory_exhausted``) or a
+    traceback string (``error``).
+    """
+    try:
+        if memory_limit_mb > 0:
+            limit_bytes = int(memory_limit_mb * MB)
+            # Soft and hard both set: a malloc beyond this raises
+            # MemoryError inside the interpreter rather than letting the
+            # kernel OOM-kill silently.
+            resource.setrlimit(resource.RLIMIT_AS, (limit_bytes, limit_bytes))
+        try:
+            result = fn(*args, **kwargs)
+        except MemoryError:
+            # The enforcement path of assumption 4 (Section II-B): the
+            # task over-consumed and is terminated.  Lift the limit so
+            # reporting itself cannot die of it.
+            try:
+                resource.setrlimit(
+                    resource.RLIMIT_AS, (resource.RLIM_INFINITY, resource.RLIM_INFINITY)
+                )
+            except (ValueError, OSError):
+                pass
+            peak, cpu = _usage()
+            connection.send((STATUS_MEMORY, peak, cpu, None))
+            return
+        except BaseException:
+            peak, cpu = _usage()
+            connection.send((STATUS_ERROR, peak, cpu, traceback.format_exc()))
+            return
+        peak, cpu = _usage()
+        try:
+            connection.send((STATUS_OK, peak, cpu, result))
+        except Exception:
+            # Unpicklable result: report success without the payload.
+            connection.send((STATUS_ERROR, peak, cpu, "result could not be pickled"))
+    finally:
+        connection.close()

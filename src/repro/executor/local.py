@@ -1,0 +1,387 @@
+"""The local executor: adaptive allocations on real processes.
+
+See the package docstring for the semantics.  The executor runs a batch
+of :class:`LocalTask` items with bounded concurrency; each worker
+thread drives one task's attempt loop — allocate, fork, enforce,
+observe, retry — against a shared
+:class:`~repro.core.allocator.TaskOrientedAllocator`.  A
+:class:`_CapacityGate` packs concurrent attempts into the machine's
+capacity the way the simulator's workers do, so over-allocation has the
+same real cost: fewer tasks fit at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.allocator import AllocatorConfig, TaskOrientedAllocator
+from repro.core.resources import (
+    CORES,
+    MEMORY,
+    TIME,
+    Resource,
+    ResourceVector,
+)
+from repro.executor import child as _child
+
+__all__ = [
+    "LocalTask",
+    "LocalAttempt",
+    "ExecutionReport",
+    "LocalExecutorConfig",
+    "LocalExecutor",
+    "reports_awe",
+]
+
+
+@dataclass(frozen=True)
+class LocalTask:
+    """One real unit of work: a callable plus its category."""
+
+    category: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise TypeError("LocalTask.fn must be callable")
+        if not self.category:
+            raise ValueError("category must be non-empty")
+
+
+@dataclass(frozen=True)
+class LocalAttempt:
+    """One real placement: allocation, wall time, outcome, observed peak."""
+
+    index: int
+    allocation: ResourceVector
+    runtime_s: float
+    outcome: str                 # "success" | "memory_exhausted" | "time_exhausted" | "error"
+    peak_memory_mb: float
+    #: Measured cores (CPU seconds / wall seconds); 0.0 when unknown.
+    cores_used: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == "success"
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the executor learned about one task."""
+
+    task_id: int
+    category: str
+    attempts: List[LocalAttempt]
+    result: Any = None
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].succeeded
+
+    @property
+    def n_retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+
+@dataclass(frozen=True)
+class LocalExecutorConfig:
+    """Executor shape.
+
+    Attributes
+    ----------
+    capacity:
+        The machine's resources for packing (defaults to 4 cores / 4 GB
+        — deliberately conservative; measure your host and set it).
+    max_concurrency:
+        Upper bound on simultaneously running attempts, independent of
+        capacity packing.
+    manage_time:
+        Enforce wall-time allocations (adds TIME to the managed
+        resources).
+    max_attempts:
+        Safety bound per task; exceeded -> the task is reported failed
+        (a real system must not retry forever on a genuinely impossible
+        limit).
+    """
+
+    capacity: ResourceVector = field(
+        default_factory=lambda: ResourceVector.of(cores=4, memory=4_096)
+    )
+    max_concurrency: int = 4
+    manage_time: bool = False
+    max_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+class _CapacityGate:
+    """Blocks attempt starts until their allocation fits the capacity."""
+
+    def __init__(self, capacity: ResourceVector) -> None:
+        self._capacity = capacity
+        self._used: Dict[Resource, float] = {}
+        self._condition = threading.Condition()
+
+    def _fits(self, allocation: ResourceVector) -> bool:
+        for res, requested in allocation.raw.items():
+            if res is TIME:
+                continue
+            cap = self._capacity[res]
+            if cap <= 0:
+                continue  # untracked dimension
+            if self._used.get(res, 0.0) + requested > cap * (1 + 1e-9):
+                return False
+        return True
+
+    def acquire(self, allocation: ResourceVector) -> None:
+        with self._condition:
+            while not self._fits(allocation):
+                self._condition.wait()
+            for res, requested in allocation.raw.items():
+                if res is not TIME:
+                    self._used[res] = self._used.get(res, 0.0) + requested
+
+    def release(self, allocation: ResourceVector) -> None:
+        with self._condition:
+            for res, requested in allocation.raw.items():
+                if res is not TIME:
+                    self._used[res] = max(0.0, self._used.get(res, 0.0) - requested)
+            self._condition.notify_all()
+
+
+class LocalExecutor:
+    """Run real tasks under adaptive allocations (see package doc).
+
+    Examples
+    --------
+    >>> from repro.executor import LocalExecutor, LocalTask   # doctest: +SKIP
+    >>> ex = LocalExecutor()                                   # doctest: +SKIP
+    >>> reports = ex.run([LocalTask("square", lambda x: x * x, (3,))])  # doctest: +SKIP
+    >>> reports[0].result                                      # doctest: +SKIP
+    9
+    """
+
+    def __init__(
+        self,
+        config: Optional[LocalExecutorConfig] = None,
+        allocator: Optional[TaskOrientedAllocator] = None,
+    ) -> None:
+        self._config = config if config is not None else LocalExecutorConfig()
+        if allocator is None:
+            resources = (CORES, MEMORY) + ((TIME,) if self._config.manage_time else ())
+            allocator = TaskOrientedAllocator(
+                AllocatorConfig(
+                    algorithm="exhaustive_bucketing",
+                    resources=resources,
+                    machine_capacity=self._config.capacity,
+                )
+            )
+        self._allocator = allocator
+        self._gate = _CapacityGate(self._config.capacity)
+        self._mp = multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self._task_counter = 0
+
+    @property
+    def allocator(self) -> TaskOrientedAllocator:
+        return self._allocator
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self, tasks: Sequence[LocalTask]) -> List[ExecutionReport]:
+        """Execute a batch; returns reports in input order."""
+        if not tasks:
+            return []
+        with ThreadPoolExecutor(max_workers=self._config.max_concurrency) as pool:
+            futures = [pool.submit(self._run_task, task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def map(self, category: str, fn: Callable, items: Sequence) -> List[ExecutionReport]:
+        """Convenience: one task per item, ``fn(item)`` each."""
+        return self.run([LocalTask(category, fn, (item,)) for item in items])
+
+    # -- per-task attempt loop ---------------------------------------------------------
+
+    def _next_task_id(self) -> int:
+        with self._lock:
+            task_id = self._task_counter
+            self._task_counter += 1
+            return task_id
+
+    def _run_task(self, task: LocalTask) -> ExecutionReport:
+        task_id = self._next_task_id()
+        report = ExecutionReport(task_id=task_id, category=task.category, attempts=[])
+        with self._lock:
+            allocation = self._allocator.allocate(task.category, task_id)
+        observed_floor = ResourceVector()
+
+        while len(report.attempts) < self._config.max_attempts:
+            self._gate.acquire(allocation)
+            try:
+                attempt = self._execute_attempt(task, allocation, len(report.attempts))
+            finally:
+                self._gate.release(allocation)
+            report.attempts.append(attempt)
+
+            if attempt.outcome == "success":
+                report.result = getattr(attempt, "_result", None)
+                observed = ResourceVector.of(
+                    cores=max(attempt.cores_used, 0.01),
+                    memory=max(attempt.peak_memory_mb, 1.0),
+                    time=attempt.runtime_s if self._config.manage_time else 0.0,
+                )
+                with self._lock:
+                    self._allocator.observe(task.category, observed, task_id=task_id)
+                return report
+            if attempt.outcome == "error":
+                report.error = getattr(attempt, "_error", "task raised")
+                return report
+
+            # Exhaustion: grow the failed dimension and retry.
+            if attempt.outcome == "memory_exhausted":
+                exhausted: Tuple[Resource, ...] = (MEMORY,)
+                observed_now = ResourceVector.of(
+                    memory=max(attempt.peak_memory_mb, allocation[MEMORY])
+                )
+            else:  # time_exhausted
+                exhausted = (TIME,)
+                observed_now = ResourceVector({TIME: attempt.runtime_s})
+            observed_floor = observed_floor.componentwise_max(observed_now)
+            with self._lock:
+                allocation = self._allocator.allocate_retry(
+                    task.category,
+                    task_id,
+                    previous=allocation,
+                    observed=observed_floor,
+                    exhausted=exhausted,
+                )
+
+        report.error = (
+            f"gave up after {self._config.max_attempts} attempts "
+            f"(last allocation {allocation!r})"
+        )
+        return report
+
+    def _execute_attempt(
+        self, task: LocalTask, allocation: ResourceVector, index: int
+    ) -> LocalAttempt:
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_child.run_attempt_in_child,
+            args=(
+                child_conn,
+                task.fn,
+                tuple(task.args),
+                dict(task.kwargs),
+                allocation[MEMORY],
+            ),
+            daemon=True,
+        )
+        started = time.perf_counter()
+        process.start()
+        child_conn.close()
+
+        time_limit = allocation[TIME] if self._config.manage_time else None
+        process.join(timeout=time_limit)
+        if process.is_alive():
+            # Wall-time exhaustion: the parent enforces the limit.
+            process.terminate()
+            process.join()
+            runtime = time.perf_counter() - started
+            parent_conn.close()
+            return LocalAttempt(
+                index=index,
+                allocation=allocation,
+                runtime_s=runtime,
+                outcome="time_exhausted",
+                peak_memory_mb=0.0,
+            )
+        runtime = time.perf_counter() - started
+
+        status, peak_mb, cpu_s, payload = "error", 0.0, 0.0, "child died without reporting"
+        try:
+            if parent_conn.poll(5.0):
+                status, peak_mb, cpu_s, payload = parent_conn.recv()
+        except (EOFError, OSError):
+            pass
+        finally:
+            parent_conn.close()
+        if status == "error" and process.exitcode not in (0, None):
+            # A hard kill (e.g. the kernel OOM path) looks like memory
+            # exhaustion when we had a memory limit in force.
+            if allocation[MEMORY] > 0 and process.exitcode < 0:
+                status = "memory_exhausted"
+
+        cores_used = max(float(cpu_s) / max(runtime, 1e-6), 0.01)
+        if status == "ok":
+            attempt = LocalAttempt(
+                index=index,
+                allocation=allocation,
+                runtime_s=runtime,
+                outcome="success",
+                peak_memory_mb=float(peak_mb),
+                cores_used=cores_used,
+            )
+            object.__setattr__(attempt, "_result", payload)
+            return attempt
+        if status == "memory_exhausted":
+            return LocalAttempt(
+                index=index,
+                allocation=allocation,
+                runtime_s=runtime,
+                outcome="memory_exhausted",
+                peak_memory_mb=float(peak_mb),
+                cores_used=cores_used,
+            )
+        attempt = LocalAttempt(
+            index=index,
+            allocation=allocation,
+            runtime_s=runtime,
+            outcome="error",
+            peak_memory_mb=float(peak_mb),
+            cores_used=cores_used,
+        )
+        object.__setattr__(attempt, "_error", payload)
+        return attempt
+
+
+def reports_awe(reports: Sequence[ExecutionReport], resource: Resource) -> float:
+    """AWE over completed reports, Section II-C applied to real runs.
+
+    Consumption uses the measured peak (memory) or the final runtime
+    (time); allocation sums every attempt's allocation x runtime.
+    Reports that never succeeded are skipped (their waste has no
+    consumption to normalize against).
+    """
+    consumed = 0.0
+    allocated = 0.0
+    for report in reports:
+        if not report.succeeded:
+            continue
+        final = report.attempts[-1]
+        if resource is MEMORY:
+            peak = final.peak_memory_mb
+        elif resource is TIME:
+            peak = final.runtime_s
+        elif resource is CORES:
+            peak = final.cores_used
+        else:
+            peak = final.allocation[resource]
+        consumed += peak * final.runtime_s
+        for attempt in report.attempts:
+            allocated += attempt.allocation[resource] * attempt.runtime_s
+    if allocated <= 0:
+        return 1.0 if consumed <= 0 else 0.0
+    return consumed / allocated

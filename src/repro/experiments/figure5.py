@@ -1,0 +1,100 @@
+"""Figure 5: Absolute Workflow Efficiency grid.
+
+3 resources (cores, memory, disk) x 7 workflows x 7 allocation
+algorithms — the paper's headline comparison.  ``run`` executes the
+full grid; ``render`` prints one table per resource with workflows as
+columns and algorithms as rows, the transposition of the paper's bar
+groups.
+
+The paper-shape expectations this experiment is checked against
+(EXPERIMENTS.md records paper-vs-measured for every cell family):
+
+* Whole Machine is the efficiency floor everywhere;
+* the bucketing algorithms lead or tie the best alternative on most
+  (resource, workflow) cells and never collapse to the floor;
+* Uniform/Normal land around 55-80 %, Bimodal/Trimodal lower,
+  Exponential is the hardest workflow for every algorithm;
+* TopEFT disk is near-perfect for the bucketing algorithms (constant
+  306 MB consumption) while Max Seen is capped by its 250 MB histogram
+  rounding; ColmenaXTB disk is poor for everyone (tiny consumption
+  against the 1 GB exploratory floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    PAPER_WORKFLOWS,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import GridResult, run_grid
+
+__all__ = ["Figure5Result", "run", "render", "REPORTED_RESOURCES"]
+
+REPORTED_RESOURCES: Tuple[str, ...] = ("cores", "memory", "disk")
+
+
+@dataclass
+class Figure5Result:
+    grid: GridResult
+
+    def awe_table(self, resource_key: str) -> Dict[str, Dict[str, float]]:
+        """algorithm -> workflow -> AWE for one resource."""
+        table: Dict[str, Dict[str, float]] = {}
+        for algorithm in self.grid.algorithms:
+            table[algorithm] = {
+                workflow: self.grid.awe(workflow, algorithm, resource_key)
+                for workflow in self.grid.workflows
+            }
+        return table
+
+    def best_per_cell(self, resource_key: str) -> Dict[str, str]:
+        """workflow -> winning algorithm for one resource."""
+        return {
+            workflow: self.grid.best_algorithm(workflow, resource_key)
+            for workflow in self.grid.workflows
+        }
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    workflows: Sequence[str] = PAPER_WORKFLOWS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    verbose: bool = False,
+) -> Figure5Result:
+    """Execute the AWE grid (the expensive one: 49 simulations)."""
+    grid = run_grid(workflows=workflows, algorithms=algorithms, config=config, verbose=verbose)
+    return Figure5Result(grid=grid)
+
+
+def render(result: Figure5Result) -> str:
+    """Render one AWE table per resource, plus per-cell winners."""
+    parts: List[str] = []
+    for resource_key in REPORTED_RESOURCES:
+        if not any(
+            resource_key in summary.awe for summary in result.grid.summaries().values()
+        ):
+            continue
+        table = result.awe_table(resource_key)
+        rows = [
+            (algorithm,) + tuple(table[algorithm][wf] for wf in result.grid.workflows)
+            for algorithm in result.grid.algorithms
+        ]
+        parts.append(
+            format_table(
+                headers=["algorithm"] + list(result.grid.workflows),
+                rows=rows,
+                title=f"Figure 5 — AWE ({resource_key})",
+            )
+        )
+        winners = result.best_per_cell(resource_key)
+        parts.append(
+            "best per workflow: "
+            + ", ".join(f"{wf}={algo}" for wf, algo in winners.items())
+        )
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,111 @@
+"""Grid runner: (workflow x algorithm) simulation sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    PAPER_WORKFLOWS,
+    make_workflow,
+)
+from repro.metrics.summary import EfficiencySummary, summarize_result
+from repro.sim.manager import SimulationResult, WorkflowManager
+from repro.workflows.spec import WorkflowSpec
+
+__all__ = ["run_cell", "run_grid", "GridResult"]
+
+
+def run_cell(
+    workflow: WorkflowSpec | str,
+    algorithm: str,
+    config: Optional[ExperimentConfig] = None,
+    **allocator_overrides,
+) -> SimulationResult:
+    """Run one (workflow, algorithm) cell end to end.
+
+    The pseudo-algorithm ``"oracle"`` runs the simulator's oracle mode:
+    every task allocated exactly its true consumption (the reference
+    ceiling of Section II-C).
+    """
+    config = config if config is not None else ExperimentConfig()
+    if isinstance(workflow, str):
+        workflow = make_workflow(
+            workflow, n_tasks=config.n_tasks, seed=config.workflow_seed
+        )
+    manager = WorkflowManager(workflow, _simulation_config(config, algorithm, allocator_overrides))
+    return manager.run()
+
+
+def _simulation_config(config: ExperimentConfig, algorithm: str, overrides):
+    import dataclasses
+
+    if algorithm == "oracle":
+        sim = config.simulation_config("whole_machine", **overrides)
+        return dataclasses.replace(sim, oracle=True)
+    return config.simulation_config(algorithm, **overrides)
+
+
+@dataclass
+class GridResult:
+    """All cells of a (workflows x algorithms) sweep."""
+
+    config: ExperimentConfig
+    workflows: Tuple[str, ...]
+    algorithms: Tuple[str, ...]
+    cells: Dict[Tuple[str, str], SimulationResult]
+
+    def summary(self, workflow: str, algorithm: str) -> EfficiencySummary:
+        return summarize_result(self.cells[workflow, algorithm])
+
+    def summaries(self) -> Dict[Tuple[str, str], EfficiencySummary]:
+        return {key: summarize_result(res) for key, res in self.cells.items()}
+
+    def awe(self, workflow: str, algorithm: str, resource_key: str) -> float:
+        return self.summary(workflow, algorithm).awe[resource_key]
+
+    def best_algorithm(self, workflow: str, resource_key: str) -> str:
+        """Highest-AWE algorithm for one (workflow, resource) column."""
+        return max(
+            self.algorithms,
+            key=lambda algo: self.awe(workflow, algo, resource_key),
+        )
+
+
+def run_grid(
+    workflows: Sequence[str] = PAPER_WORKFLOWS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    config: Optional[ExperimentConfig] = None,
+    verbose: bool = False,
+) -> GridResult:
+    """Run the full evaluation grid (Figures 5 and 6 share it).
+
+    Workflows are generated once and reused across algorithms so every
+    algorithm sees the identical task stream.
+    """
+    config = config if config is not None else ExperimentConfig()
+    cells: Dict[Tuple[str, str], SimulationResult] = {}
+    for wf_name in workflows:
+        workflow = make_workflow(
+            wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
+        )
+        for algorithm in algorithms:
+            manager = WorkflowManager(
+                workflow, _simulation_config(config, algorithm, {})
+            )
+            result = manager.run()
+            cells[wf_name, algorithm] = result
+            if verbose:
+                print(
+                    f"[grid] {wf_name:12s} {algorithm:22s} "
+                    f"attempts={result.n_attempts:5d} "
+                    f"awe={ {r.key: round(result.ledger.awe(r), 3) for r in result.ledger.resources} }"
+                )
+    return GridResult(
+        config=config,
+        workflows=tuple(workflows),
+        algorithms=tuple(algorithms),
+        cells=cells,
+    )

@@ -1,0 +1,33 @@
+"""Metrics: resource waste, Absolute Workflow Efficiency, summaries.
+
+Thin, dependency-free functions over attempt histories and ledgers —
+the experiment harness and the tests both consume these, so the
+formulas of Section II-C live in exactly one place
+(:mod:`repro.sim.accounting` for the streaming form, here for the
+closed-form per-task form used to cross-check it).
+"""
+
+from repro.metrics.waste import (
+    task_resource_waste,
+    task_internal_fragmentation,
+    task_failed_allocation,
+)
+from repro.metrics.efficiency import awe_from_tasks, awe_from_ledger
+from repro.metrics.summary import (
+    EfficiencySummary,
+    summarize_result,
+    summarize_grid,
+    convergence_series,
+)
+
+__all__ = [
+    "task_resource_waste",
+    "task_internal_fragmentation",
+    "task_failed_allocation",
+    "awe_from_tasks",
+    "awe_from_ledger",
+    "EfficiencySummary",
+    "summarize_result",
+    "summarize_grid",
+    "convergence_series",
+]

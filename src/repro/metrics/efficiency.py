@@ -1,0 +1,45 @@
+"""Absolute Workflow Efficiency (AWE) — Section II-C.
+
+``AWE = sum_i C(T_i) / sum_i A(T_i)`` where ``C(T_i) = c_i * t_i`` and
+``A(T_i)`` is the total allocation across all of task i's attempts.
+The metric is worker-count independent: it charges only what the
+workflow itself requested and consumed, which is what makes it the
+right yardstick on opportunistic pools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.resources import Resource
+from repro.sim.accounting import Ledger
+from repro.sim.task import AttemptOutcome, SimTask
+
+__all__ = ["awe_from_tasks", "awe_from_ledger"]
+
+
+def awe_from_tasks(tasks: Iterable[SimTask], resource: Resource) -> float:
+    """Closed-form AWE over completed tasks (cross-check for the ledger).
+
+    Evicted attempts are excluded from the denominator, mirroring
+    :class:`~repro.sim.accounting.Ledger` (the metric must not depend on
+    pool churn).
+    """
+    consumed = 0.0
+    allocated = 0.0
+    for task in tasks:
+        if not task.attempts or task.attempts[-1].outcome is not AttemptOutcome.SUCCESS:
+            raise ValueError(f"task {task.task_id} has not completed successfully")
+        consumed += task.spec.consumption[resource] * task.spec.duration
+        for attempt in task.attempts:
+            if attempt.outcome is AttemptOutcome.EVICTED:
+                continue
+            allocated += attempt.allocation[resource] * attempt.runtime
+    if allocated <= 0.0:
+        return 1.0 if consumed <= 0.0 else 0.0
+    return consumed / allocated
+
+
+def awe_from_ledger(ledger: Ledger) -> Dict[Resource, float]:
+    """AWE for every resource the ledger tracks."""
+    return ledger.awe_all()

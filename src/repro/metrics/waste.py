@@ -1,0 +1,72 @@
+"""Per-task resource waste, straight from Section II-C.
+
+For a task ``T`` allocated ``a`` units over ``t`` seconds that consumed
+at most ``c`` units, after ``k`` failed allocation attempts of
+``(a_i, t_i)`` each:
+
+``ResourceWaste(T) = t * (a - c) + sum_{i=1..k} a_i * t_i``
+
+These closed-form functions operate on a completed
+:class:`~repro.sim.task.SimTask`'s attempt history and exist primarily
+so tests can cross-check the streaming accumulation in
+:class:`~repro.sim.accounting.Ledger` against an independent
+implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.resources import Resource
+from repro.sim.task import AttemptOutcome, SimTask
+
+__all__ = [
+    "task_internal_fragmentation",
+    "task_failed_allocation",
+    "task_eviction_holding",
+    "task_resource_waste",
+]
+
+
+def _require_completed(task: SimTask) -> None:
+    if not task.attempts or task.attempts[-1].outcome is not AttemptOutcome.SUCCESS:
+        raise ValueError(f"task {task.task_id} has not completed successfully")
+
+
+def task_internal_fragmentation(task: SimTask, resource: Resource) -> float:
+    """``t * (a - c)`` on the successful attempt (resource-seconds)."""
+    _require_completed(task)
+    final = task.attempts[-1]
+    return max(
+        0.0,
+        (final.allocation[resource] - task.spec.consumption[resource]) * final.runtime,
+    )
+
+
+def task_failed_allocation(task: SimTask, resource: Resource) -> float:
+    """``sum a_i * t_i`` over the exhaustion-killed attempts."""
+    _require_completed(task)
+    return sum(
+        attempt.allocation[resource] * attempt.runtime
+        for attempt in task.attempts
+        if attempt.outcome is AttemptOutcome.EXHAUSTED
+    )
+
+
+def task_eviction_holding(task: SimTask, resource: Resource) -> float:
+    """Resource-seconds held by attempts lost to worker eviction.
+
+    Outside the paper's waste definition (see
+    :mod:`repro.sim.accounting`); reported separately.
+    """
+    _require_completed(task)
+    return sum(
+        attempt.allocation[resource] * attempt.runtime
+        for attempt in task.attempts
+        if attempt.outcome is AttemptOutcome.EVICTED
+    )
+
+
+def task_resource_waste(task: SimTask, resource: Resource) -> float:
+    """The paper's ResourceWaste(T): fragmentation + failed allocation."""
+    return task_internal_fragmentation(task, resource) + task_failed_allocation(
+        task, resource
+    )

@@ -1,0 +1,61 @@
+"""Discrete-event workflow-execution simulator.
+
+This subpackage stands in for the paper's testbed — the Work Queue
+manager-worker framework running 20-50 opportunistic 16-core/64 GB
+workers on an HTCondor cluster — with the same decision loop:
+
+1. the workflow manager submits tasks in application order;
+2. the scheduler asks the allocator for each ready task's resource
+   allocation *at dispatch time* and places the task on a worker with
+   enough free capacity;
+3. the worker monitors the task and kills it the moment consumption
+   exceeds any allocated resource (assumption 4, Section II-B);
+4. killed tasks are re-allocated (bucket ladder climb or doubling) and
+   retried; completed tasks report their peak consumption back to the
+   allocator and the accounting ledger.
+
+Workers may also join and leave mid-run (opportunistic churn); evicted
+tasks are requeued with their previous allocation, and the resources an
+evicted attempt held are tracked separately from the paper's two waste
+classes so AWE remains worker-count independent (Section II-C).
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.task import SimTask, Attempt, AttemptOutcome, TaskState
+from repro.sim.worker import Worker
+from repro.sim.pool import WorkerPool, PoolConfig, ChurnConfig
+from repro.sim.profiles import (
+    ConsumptionProfile,
+    LinearRampProfile,
+    StepProfile,
+    InstantPeakProfile,
+)
+from repro.sim.accounting import Ledger, WasteBreakdown
+from repro.sim.scheduler import Scheduler
+from repro.sim.manager import WorkflowManager, SimulationConfig, SimulationResult
+from repro.sim.observability import Timeline, TimelineRecorder, TimelineSample
+
+__all__ = [
+    "SimulationEngine",
+    "SimTask",
+    "Attempt",
+    "AttemptOutcome",
+    "TaskState",
+    "Worker",
+    "WorkerPool",
+    "PoolConfig",
+    "ChurnConfig",
+    "ConsumptionProfile",
+    "LinearRampProfile",
+    "StepProfile",
+    "InstantPeakProfile",
+    "Ledger",
+    "WasteBreakdown",
+    "Scheduler",
+    "WorkflowManager",
+    "SimulationConfig",
+    "SimulationResult",
+    "Timeline",
+    "TimelineRecorder",
+    "TimelineSample",
+]

@@ -1,0 +1,255 @@
+"""Waste and efficiency accounting (Section II-C, implemented exactly).
+
+The ledger ingests every finished attempt and folds them into the
+paper's two metrics:
+
+* **Resource waste** per task and resource:
+  ``t * (a - c)`` internal fragmentation on the successful attempt plus
+  ``sum_i a_i * t_i`` over the failed (exhausted) attempts.
+* **Absolute Workflow Efficiency (AWE)** per resource:
+  total consumption ``sum_i c_i * t_i`` over total allocation
+  ``sum_i (a_i * t_i + sum_j a_ij * t_ij)``.
+
+Attempts lost to worker eviction are *not* part of the paper's model —
+its metrics are defined to be independent of the worker pool — so their
+held allocation is accumulated in a separate ``eviction`` bucket that
+never enters AWE.  Per-category breakdowns and a running AWE series
+(used by the convergence studies) are kept alongside the totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.resources import TIME, Resource, ResourceVector
+from repro.sim.task import Attempt, AttemptOutcome, SimTask
+
+__all__ = ["WasteBreakdown", "TaskUsage", "Ledger"]
+
+
+@dataclass
+class WasteBreakdown:
+    """Accumulated waste of one resource, split by cause.
+
+    All figures are resource-seconds (e.g. MB*s for memory).
+    """
+
+    internal_fragmentation: float = 0.0
+    failed_allocation: float = 0.0
+    eviction: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """The paper's ResourceWaste: fragmentation + failed allocation.
+
+        Eviction holdings are excluded by definition (see module doc).
+        """
+        return self.internal_fragmentation + self.failed_allocation
+
+    def fraction_failed(self) -> float:
+        """Share of the (paper-defined) waste due to failed allocations."""
+        if self.total <= 0:
+            return 0.0
+        return self.failed_allocation / self.total
+
+    def __add__(self, other: "WasteBreakdown") -> "WasteBreakdown":
+        return WasteBreakdown(
+            internal_fragmentation=self.internal_fragmentation + other.internal_fragmentation,
+            failed_allocation=self.failed_allocation + other.failed_allocation,
+            eviction=self.eviction + other.eviction,
+        )
+
+
+@dataclass(frozen=True)
+class TaskUsage:
+    """One completed task's contribution to the metrics."""
+
+    task_id: int
+    category: str
+    consumption: Mapping[Resource, float]   # c * t per resource
+    allocation: Mapping[Resource, float]    # all attempts' a * t per resource
+    n_failed_attempts: int
+    n_evicted_attempts: int
+
+
+class Ledger:
+    """Accumulates attempts; answers waste and AWE queries."""
+
+    def __init__(self, resources: Tuple[Resource, ...]) -> None:
+        if not resources:
+            raise ValueError("ledger needs at least one resource to track")
+        self._resources = resources
+        self._consumption: Dict[Resource, float] = {r: 0.0 for r in resources}
+        self._allocation: Dict[Resource, float] = {r: 0.0 for r in resources}
+        self._waste: Dict[Resource, WasteBreakdown] = {r: WasteBreakdown() for r in resources}
+        self._by_category: Dict[str, Dict[Resource, WasteBreakdown]] = {}
+        self._category_consumption: Dict[str, Dict[Resource, float]] = {}
+        self._category_allocation: Dict[str, Dict[Resource, float]] = {}
+        self._tasks: List[TaskUsage] = []
+        self._n_attempts = 0
+        self._n_failed = 0
+        self._n_evicted = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def record_task(self, task: SimTask) -> TaskUsage:
+        """Fold a *completed* task's attempt history into the totals."""
+        if not task.attempts or task.attempts[-1].outcome is not AttemptOutcome.SUCCESS:
+            raise ValueError(
+                f"task {task.task_id} has no successful final attempt to account"
+            )
+        final = task.attempts[-1]
+        true_peaks = task.spec.consumption
+        duration = task.spec.duration
+
+        cat = task.category
+        cat_waste = self._by_category.setdefault(
+            cat, {r: WasteBreakdown() for r in self._resources}
+        )
+        cat_cons = self._category_consumption.setdefault(
+            cat, {r: 0.0 for r in self._resources}
+        )
+        cat_alloc = self._category_allocation.setdefault(
+            cat, {r: 0.0 for r in self._resources}
+        )
+
+        consumption_rt: Dict[Resource, float] = {}
+        allocation_rt: Dict[Resource, float] = {}
+        n_failed = 0
+        n_evicted = 0
+        for res in self._resources:
+            # Wall time's "peak consumption" is the duration itself.
+            peak = duration if res is TIME else true_peaks[res]
+            consumed = peak * duration
+            consumption_rt[res] = consumed
+            self._consumption[res] += consumed
+            cat_cons[res] += consumed
+
+            allocated = 0.0
+            for attempt in task.attempts:
+                held = attempt.allocation[res] * attempt.runtime
+                if attempt.outcome is AttemptOutcome.EVICTED:
+                    self._waste[res].eviction += held
+                    cat_waste[res].eviction += held
+                    continue
+                allocated += held
+                if attempt.outcome is AttemptOutcome.EXHAUSTED:
+                    self._waste[res].failed_allocation += held
+                    cat_waste[res].failed_allocation += held
+            # Internal fragmentation of the successful attempt: t*(a - c).
+            frag = (final.allocation[res] - peak) * final.runtime
+            # Numerical guard: the success condition guarantees a >= c.
+            frag = max(0.0, frag)
+            self._waste[res].internal_fragmentation += frag
+            cat_waste[res].internal_fragmentation += frag
+
+            allocation_rt[res] = allocated
+            self._allocation[res] += allocated
+            cat_alloc[res] += allocated
+
+        for attempt in task.attempts:
+            self._n_attempts += 1
+            if attempt.outcome is AttemptOutcome.EXHAUSTED:
+                self._n_failed += 1
+                n_failed += 1
+            elif attempt.outcome is AttemptOutcome.EVICTED:
+                self._n_evicted += 1
+                n_evicted += 1
+
+        usage = TaskUsage(
+            task_id=task.task_id,
+            category=cat,
+            consumption=consumption_rt,
+            allocation=allocation_rt,
+            n_failed_attempts=n_failed,
+            n_evicted_attempts=n_evicted,
+        )
+        self._tasks.append(usage)
+        return usage
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def resources(self) -> Tuple[Resource, ...]:
+        return self._resources
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def n_attempts(self) -> int:
+        return self._n_attempts
+
+    @property
+    def n_failed_attempts(self) -> int:
+        return self._n_failed
+
+    @property
+    def n_evicted_attempts(self) -> int:
+        return self._n_evicted
+
+    def awe(self, resource: Resource) -> float:
+        """Absolute Workflow Efficiency for one resource, in [0, 1]."""
+        allocated = self._allocation[resource]
+        if allocated <= 0.0:
+            return 1.0 if self._consumption[resource] <= 0.0 else 0.0
+        return self._consumption[resource] / allocated
+
+    def awe_all(self) -> Dict[Resource, float]:
+        return {r: self.awe(r) for r in self._resources}
+
+    def waste(self, resource: Resource) -> WasteBreakdown:
+        return self._waste[resource]
+
+    def total_consumption(self, resource: Resource) -> float:
+        return self._consumption[resource]
+
+    def total_allocation(self, resource: Resource) -> float:
+        return self._allocation[resource]
+
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(self._by_category)
+
+    def awe_of_category(self, category: str, resource: Resource) -> float:
+        allocated = self._category_allocation[category][resource]
+        consumed = self._category_consumption[category][resource]
+        if allocated <= 0.0:
+            return 1.0 if consumed <= 0.0 else 0.0
+        return consumed / allocated
+
+    def waste_of_category(self, category: str, resource: Resource) -> WasteBreakdown:
+        return self._by_category[category][resource]
+
+    def task_usages(self) -> Tuple[TaskUsage, ...]:
+        return tuple(self._tasks)
+
+    def awe_series(self, resource: Resource) -> List[float]:
+        """Running AWE after each completed task (convergence studies)."""
+        series: List[float] = []
+        consumed = 0.0
+        allocated = 0.0
+        for usage in self._tasks:
+            consumed += usage.consumption[resource]
+            allocated += usage.allocation[resource]
+            series.append(consumed / allocated if allocated > 0 else 0.0)
+        return series
+
+    def identity_holds(self) -> bool:
+        """Sanity identity: allocation = consumption + waste, per resource.
+
+        ``sum a*t = sum c*t + fragmentation + failed`` — exact up to
+        float rounding; tests assert it after every simulation.
+        """
+        for res in self._resources:
+            lhs = self._allocation[res]
+            rhs = (
+                self._consumption[res]
+                + self._waste[res].internal_fragmentation
+                + self._waste[res].failed_allocation
+            )
+            scale = max(abs(lhs), abs(rhs), 1.0)
+            if abs(lhs - rhs) > 1e-6 * scale:
+                return False
+        return True

@@ -1,0 +1,409 @@
+"""The workflow manager: glue between workflow, allocator and simulator.
+
+:class:`WorkflowManager` drives one workflow run end to end, mirroring
+Figure 1/3a:
+
+1. submit every task (dependency-free tasks are ready immediately;
+   others wait for their parents);
+2. at dispatch time, ask the :class:`TaskOrientedAllocator` for the
+   task's allocation — first attempt through :meth:`allocate`, retries
+   through :meth:`allocate_retry`;
+3. decide each attempt's fate up front with the consumption profile
+   (the simulator knows the hidden truth; the allocator never sees it)
+   and schedule the completion or kill event;
+4. on success, feed the resource record back to the allocator and the
+   ledger; on exhaustion, grow the allocation and requeue; on eviction,
+   requeue with the same allocation.
+
+``run()`` returns a :class:`SimulationResult` bundling the ledger and
+run-level statistics — the unit every experiment module consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocator import AllocatorConfig, TaskOrientedAllocator
+from repro.core.resources import Resource, ResourceVector, TIME
+from repro.sim.accounting import Ledger, WasteBreakdown
+from repro.sim.engine import SimulationEngine
+from repro.sim.pool import PoolConfig, WorkerPool
+from repro.sim.profiles import ConsumptionProfile, LinearRampProfile
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
+from repro.sim.worker import Worker
+from repro.workflows.spec import WorkflowSpec
+
+__all__ = ["SimulationConfig", "SimulationResult", "WorkflowManager"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything configurable about one simulated run."""
+
+    allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    profile: ConsumptionProfile = field(default_factory=LinearRampProfile)
+    #: Maximum tasks revealed to the scheduler but not yet completed.
+    #: Dynamic applications (Colmena's batched molecule campaigns,
+    #: Coffea's chunked submission) keep a bounded number of tasks in
+    #: flight rather than dumping the whole run at t=0; ``None`` models
+    #: the dump-everything extreme.
+    max_outstanding: Optional[int] = None
+    #: Allocate every task exactly its true peak consumption (and true
+    #: duration, when TIME is managed).  The oracle of Section II-C:
+    #: zero waste, AWE = 1 by construction.  Not realizable online — it
+    #: exists as the reference ceiling for experiments and tests.
+    oracle: bool = False
+    #: Hard bound on processed events; a livelocked run raises instead of
+    #: spinning (attempts per task are bounded by doubling, so legitimate
+    #: runs stay far below ~20 events/task).
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding must be >= 1, got {self.max_outstanding}"
+            )
+
+    def effective_max_events(self, n_tasks: int) -> int:
+        if self.max_events is not None:
+            return self.max_events
+        return max(10_000, 200 * n_tasks)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (workflow, algorithm) simulated run."""
+
+    workflow_name: str
+    algorithm: str
+    ledger: Ledger
+    makespan: float
+    n_tasks: int
+    n_attempts: int
+    n_failed_attempts: int
+    n_evicted_attempts: int
+    workers_joined: int
+    workers_left: int
+    wall_clock_seconds: float
+
+    def awe(self, resource: Resource) -> float:
+        return self.ledger.awe(resource)
+
+    def waste(self, resource: Resource) -> WasteBreakdown:
+        return self.ledger.waste(resource)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tabular reporting."""
+        row: Dict[str, object] = {
+            "workflow": self.workflow_name,
+            "algorithm": self.algorithm,
+            "tasks": self.n_tasks,
+            "attempts": self.n_attempts,
+            "failed_attempts": self.n_failed_attempts,
+            "evicted_attempts": self.n_evicted_attempts,
+            "makespan_s": round(self.makespan, 3),
+        }
+        for res in self.ledger.resources:
+            row[f"awe_{res.key}"] = round(self.ledger.awe(res), 4)
+        return row
+
+
+class WorkflowManager:
+    """Run one workflow against one allocator configuration."""
+
+    def __init__(self, workflow: WorkflowSpec, config: Optional[SimulationConfig] = None) -> None:
+        self._workflow = workflow
+        self._config = config if config is not None else SimulationConfig()
+        workflow.validate_fits(self._config.pool.capacity)
+
+        self._engine = SimulationEngine()
+        self._pool = WorkerPool(self._engine, self._config.pool)
+        # The allocator's notion of "a whole machine" must be the pool's
+        # actual worker shape — Whole Machine allocations, the
+        # whole-machine exploratory policy and the capacity clamp all
+        # depend on it.
+        allocator_config = self._config.allocator
+        if allocator_config.machine_capacity != self._config.pool.capacity:
+            allocator_config = dataclasses.replace(
+                allocator_config, machine_capacity=self._config.pool.capacity
+            )
+        self._allocator = TaskOrientedAllocator(allocator_config)
+        self._ledger = Ledger(self._config.allocator.resources)
+        self._manage_time = TIME in self._config.allocator.resources
+
+        self._tasks: Dict[int, SimTask] = {
+            spec.task_id: SimTask(spec) for spec in workflow
+        }
+        # Reverse dependency index: parent -> children waiting on it.
+        self._children: Dict[int, List[int]] = {}
+        for spec in workflow:
+            for dep in spec.dependencies:
+                self._children.setdefault(dep, []).append(spec.task_id)
+
+        self._scheduler = Scheduler(
+            self._pool,
+            allocation_of=self._allocation_of,
+            allocation_version=self._allocation_version,
+            start_attempt=self._start_attempt,
+            may_dispatch=self._may_dispatch,
+        )
+        self._running_per_category: Dict[str, int] = {}
+        self._explore_concurrency = (
+            self._config.allocator.exploratory.effective_explore_concurrency
+        )
+        self._pool.on_worker_joined = self._on_worker_joined
+        self._pool.on_worker_leaving = self._on_worker_leaving
+
+        #: attempt validity tokens: an eviction invalidates the pending
+        #: end-of-attempt event of the evicted task.
+        self._attempt_token: Dict[int, int] = {t: 0 for t in self._tasks}
+        self._attempt_start: Dict[int, float] = {}
+        self._attempt_worker: Dict[int, int] = {}
+        self._completed = 0
+        self._next_to_submit = 0
+        self._outstanding = 0
+        self._ran = False
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def workflow(self) -> WorkflowSpec:
+        return self._workflow
+
+    @property
+    def allocator(self) -> TaskOrientedAllocator:
+        return self._allocator
+
+    @property
+    def engine(self) -> SimulationEngine:
+        return self._engine
+
+    def run(self) -> SimulationResult:
+        """Execute the workflow to completion and return the result."""
+        if self._ran:
+            raise RuntimeError("a WorkflowManager instance runs exactly once")
+        self._ran = True
+        started = _time.perf_counter()
+
+        self._submit_more()
+        self._engine.schedule(0.0, self._dispatch)
+        self._engine.run(
+            max_events=self._config.effective_max_events(len(self._workflow))
+        )
+
+        if self._completed != len(self._workflow):
+            raise RuntimeError(
+                f"simulation drained with {self._completed}/{len(self._workflow)} "
+                "tasks completed — the pool can no longer host the remaining tasks"
+            )
+        assert self._ledger.identity_holds(), "accounting identity violated"
+
+        makespan = max(
+            (t.completion_time for t in self._tasks.values() if t.completion_time is not None),
+            default=0.0,
+        )
+        return SimulationResult(
+            workflow_name=self._workflow.name,
+            algorithm="oracle" if self._config.oracle else self._config.allocator.algorithm,
+            ledger=self._ledger,
+            makespan=makespan,
+            n_tasks=len(self._workflow),
+            n_attempts=self._ledger.n_attempts,
+            n_failed_attempts=self._ledger.n_failed_attempts,
+            n_evicted_attempts=self._ledger.n_evicted_attempts,
+            workers_joined=self._pool.total_joined,
+            workers_left=self._pool.total_left,
+            wall_clock_seconds=_time.perf_counter() - started,
+        )
+
+    # -- allocation hooks ---------------------------------------------------------------
+
+    def _allocation_of(self, task: SimTask) -> ResourceVector:
+        if self._config.oracle:
+            values = {
+                res: task.spec.consumption[res]
+                for res in self._config.allocator.resources
+                if res is not TIME
+            }
+            if self._manage_time:
+                values[TIME] = task.spec.duration
+            return ResourceVector(values)
+        return self._allocator.allocate(task.category, task.task_id)
+
+    def _allocation_version(self, task: SimTask) -> int:
+        return self._allocator.version(task.category)
+
+    def _may_dispatch(self, task: SimTask) -> bool:
+        """Exploratory concurrency gate (see ExploratoryConfig).
+
+        While a category is still collecting its bootstrap records, only
+        a bounded number of its tasks may run at once; the rest wait in
+        the queue so their dispatch-time predictions can use the records
+        the explorers produce.
+        """
+        if not self._allocator.in_exploration(task.category):
+            return True
+        running = self._running_per_category.get(task.category, 0)
+        return running < self._explore_concurrency
+
+    # -- submission pacing -----------------------------------------------------------------
+
+    def _submit_more(self) -> None:
+        """Reveal tasks to the scheduler up to the outstanding window."""
+        limit = self._config.max_outstanding
+        specs = self._workflow.tasks
+        while self._next_to_submit < len(specs) and (
+            limit is None or self._outstanding < limit
+        ):
+            task = self._tasks[specs[self._next_to_submit].task_id]
+            self._next_to_submit += 1
+            self._outstanding += 1
+            if task.state is TaskState.READY:
+                self._scheduler.enqueue(task)
+            # PENDING tasks are submitted but wait for their parents; the
+            # dependency-completion hook enqueues them.
+
+    # -- attempt lifecycle ----------------------------------------------------------------
+
+    def _start_attempt(self, task: SimTask, worker: Worker) -> None:
+        allocation = task.current_allocation
+        assert allocation is not None
+        worker.place(task.task_id, allocation)
+        now = self._engine.now
+        self._attempt_start[task.task_id] = now
+        self._attempt_worker[task.task_id] = worker.worker_id
+        self._running_per_category[task.category] = (
+            self._running_per_category.get(task.category, 0) + 1
+        )
+
+        time_limit = allocation[TIME] if self._manage_time else None
+        verdict = self._config.profile.check(
+            allocation, task.spec.consumption, task.spec.duration, time_limit
+        )
+        runtime = task.spec.duration * verdict.fraction
+        token = self._attempt_token[task.task_id]
+        self._engine.schedule(
+            runtime,
+            lambda: self._end_attempt(task, worker, verdict, runtime, token),
+        )
+
+    def _end_attempt(self, task, worker, verdict, runtime: float, token: int) -> None:
+        if self._attempt_token[task.task_id] != token:
+            return  # the attempt was evicted; this event is stale
+        self._attempt_token[task.task_id] += 1
+        worker.release(task.task_id, held_for=runtime)
+        start = self._attempt_start.pop(task.task_id)
+        self._attempt_worker.pop(task.task_id, None)
+        self._running_per_category[task.category] -= 1
+
+        allocation = task.current_allocation
+        assert allocation is not None
+        if verdict.success:
+            attempt = Attempt(
+                index=task.n_attempts,
+                worker_id=worker.worker_id,
+                allocation=allocation,
+                start_time=start,
+                runtime=task.spec.duration,
+                outcome=AttemptOutcome.SUCCESS,
+                observed=task.spec.consumption,
+            )
+            task.record_attempt(attempt)
+            task.state = TaskState.COMPLETED
+            task.completion_time = self._engine.now
+            self._completed += 1
+            peaks = task.spec.consumption
+            if self._manage_time:
+                # The TIME record is the task's true duration — the peak
+                # "consumption" of wall time.
+                peaks = peaks.replace(TIME, task.spec.duration)
+            self._allocator.observe(task.category, peaks, task_id=task.task_id)
+            self._ledger.record_task(task)
+            self._outstanding -= 1
+            self._submit_more()
+            self._notify_children(task)
+            if self._completed == len(self._workflow):
+                self._pool.stop()
+                return
+        else:
+            attempt = Attempt(
+                index=task.n_attempts,
+                worker_id=worker.worker_id,
+                allocation=allocation,
+                start_time=start,
+                runtime=runtime,
+                outcome=AttemptOutcome.EXHAUSTED,
+                observed=verdict.observed,
+                exhausted=verdict.exhausted,
+            )
+            task.record_attempt(attempt)
+            task.state = TaskState.READY
+            task.current_allocation = self._allocator.allocate_retry(
+                task.category,
+                task.task_id,
+                previous=allocation,
+                observed=verdict.observed,
+                exhausted=verdict.exhausted,
+            )
+            self._scheduler.enqueue_retry(task)
+        self._dispatch()
+
+    def _notify_children(self, task: SimTask) -> None:
+        for child_id in self._children.get(task.task_id, ()):  # dynamic DAG fan-out
+            child = self._tasks[child_id]
+            if child.dependency_completed(task.task_id, self._engine.now):
+                self._scheduler.enqueue(child)
+
+    # -- pool callbacks ----------------------------------------------------------------------
+
+    def _on_worker_joined(self, worker: Worker) -> None:
+        self._dispatch()
+
+    def _on_worker_leaving(self, worker: Worker, evicted: Dict[int, ResourceVector]) -> None:
+        now = self._engine.now
+        for task_id, allocation in evicted.items():
+            task = self._tasks[task_id]
+            self._attempt_token[task_id] += 1  # invalidate the pending end event
+            start = self._attempt_start.pop(task_id, now)
+            self._attempt_worker.pop(task_id, None)
+            self._running_per_category[task.category] -= 1
+            elapsed = now - start
+            fraction = min(1.0, elapsed / task.spec.duration) if task.spec.duration > 0 else 0.0
+            observed = ResourceVector(
+                {
+                    res: min(
+                        self._config.profile.consumed_at(
+                            task.spec.consumption[res], fraction
+                        ),
+                        task.spec.consumption[res],
+                    )
+                    for res in task.spec.consumption
+                    if res is not TIME
+                }
+            )
+            attempt = Attempt(
+                index=task.n_attempts,
+                worker_id=worker.worker_id,
+                allocation=allocation,
+                start_time=start,
+                runtime=elapsed,
+                outcome=AttemptOutcome.EVICTED,
+                observed=observed,
+            )
+            task.record_attempt(attempt)
+            task.state = TaskState.READY
+            # Eviction says nothing about the allocation's adequacy:
+            # retry with the same allocation.
+            self._scheduler.enqueue_retry(task)
+        if evicted:
+            self._dispatch()
+
+    # -- dispatch trampoline -------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        self._scheduler.try_dispatch()

@@ -1,0 +1,116 @@
+"""Simulation observability: timelines of pool and queue state.
+
+The accounting ledger answers *how well were resources allocated*;
+this module answers *what did the system look like while doing it* —
+the operational view an administrator of an opportunistic pool cares
+about (the paper's motivation for backfilling: "increases the resource
+utilization of the local HPC facility").
+
+:class:`TimelineRecorder` samples the simulation at a fixed period and
+records, per sample:
+
+* alive workers and their committed share per resource (pool
+  utilization — of *allocations*, which is what the batch system sees);
+* running task count and ready-queue depth;
+* cumulative completions.
+
+Attach one before ``run()``; the recorder schedules its own sampling
+events and stops when the pool stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.resources import Resource
+from repro.sim.manager import WorkflowManager
+
+__all__ = ["TimelineSample", "Timeline", "TimelineRecorder"]
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of the running simulation."""
+
+    time: float
+    n_workers: int
+    n_running_tasks: int
+    n_ready_tasks: int
+    n_completed: int
+    #: resource key -> fraction of alive capacity currently committed.
+    utilization: Dict[str, float]
+
+
+@dataclass
+class Timeline:
+    """The full sampled history of one run."""
+
+    period: float
+    samples: List[TimelineSample] = field(default_factory=list)
+
+    def series(self, attribute: str) -> List[float]:
+        """Extract one numeric series, e.g. ``series("n_workers")``."""
+        return [float(getattr(s, attribute)) for s in self.samples]
+
+    def utilization_series(self, resource_key: str) -> List[float]:
+        return [s.utilization.get(resource_key, 0.0) for s in self.samples]
+
+    def mean_utilization(self, resource_key: str) -> float:
+        values = self.utilization_series(resource_key)
+        return sum(values) / len(values) if values else 0.0
+
+    def peak_workers(self) -> int:
+        return max((s.n_workers for s in self.samples), default=0)
+
+    def peak_queue_depth(self) -> int:
+        return max((s.n_ready_tasks for s in self.samples), default=0)
+
+
+class TimelineRecorder:
+    """Samples a WorkflowManager's state on a fixed simulated period.
+
+    >>> from repro.sim.observability import TimelineRecorder  # doctest: +SKIP
+    >>> recorder = TimelineRecorder(manager, period=60.0)     # doctest: +SKIP
+    >>> result = manager.run()                                 # doctest: +SKIP
+    >>> recorder.timeline.mean_utilization("cores")            # doctest: +SKIP
+    """
+
+    def __init__(self, manager: WorkflowManager, period: float = 60.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._manager = manager
+        self.timeline = Timeline(period=period)
+        self._done = False
+        manager.engine.schedule(0.0, self._sample)
+
+    def _sample(self) -> None:
+        manager = self._manager
+        workers = manager._pool.alive_workers()
+        n_running = sum(w.n_running for w in workers)
+        utilization: Dict[str, float] = {}
+        if workers:
+            capacity_totals: Dict[Resource, float] = {}
+            committed_totals: Dict[Resource, float] = {}
+            for worker in workers:
+                for res, cap in worker.capacity.raw.items():
+                    capacity_totals[res] = capacity_totals.get(res, 0.0) + cap
+                for res, value in worker.committed.raw.items():
+                    committed_totals[res] = committed_totals.get(res, 0.0) + value
+            for res, total in capacity_totals.items():
+                if total > 0:
+                    utilization[res.key] = committed_totals.get(res, 0.0) / total
+        self.timeline.samples.append(
+            TimelineSample(
+                time=manager.engine.now,
+                n_workers=len(workers),
+                n_running_tasks=n_running,
+                n_ready_tasks=manager._scheduler.n_ready,
+                n_completed=manager._completed,
+                utilization=utilization,
+            )
+        )
+        if manager._completed >= len(manager.workflow):
+            self._done = True
+            return
+        manager.engine.schedule(self.timeline.period, self._sample)

@@ -1,0 +1,62 @@
+"""Workload generators and workflow specifications.
+
+* :mod:`repro.workflows.spec` — ``TaskSpec`` / ``WorkflowSpec``: the
+  hidden-consumption task model of Section II-B.
+* :mod:`repro.workflows.synthetic` — the five synthetic workflows of
+  Figure 4 (Normal, Uniform, Exponential, Bimodal, Phasing Trimodal).
+* :mod:`repro.workflows.colmena` — a ColmenaXTB-shaped trace generator
+  (two sequential phases: 228 ``evaluate_mpnn`` + 1000
+  ``compute_atomization_energy`` tasks, Figure 2 top row).
+* :mod:`repro.workflows.topeft` — a TopEFT-shaped trace generator
+  (363 ``preprocessing`` + 3994 ``processing`` + 212 ``accumulating``
+  tasks, Figure 2 bottom row).
+* :mod:`repro.workflows.dag` — dynamic dependency graphs for structured
+  example applications.
+"""
+
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+from repro.workflows.synthetic import (
+    SyntheticSpec,
+    make_synthetic_workflow,
+    make_mixed_workflow,
+    normal_workflow,
+    uniform_workflow,
+    exponential_workflow,
+    bimodal_workflow,
+    trimodal_workflow,
+    SYNTHETIC_WORKFLOWS,
+)
+from repro.workflows.colmena import make_colmena_workflow
+from repro.workflows.topeft import make_topeft_workflow
+from repro.workflows.dag import DynamicDAG
+from repro.workflows.traceio import (
+    save_workflow,
+    load_workflow,
+    workflow_from_records,
+    workflow_to_dict,
+    workflow_from_dict,
+    export_attempts_csv,
+)
+
+__all__ = [
+    "TaskSpec",
+    "WorkflowSpec",
+    "SyntheticSpec",
+    "make_synthetic_workflow",
+    "make_mixed_workflow",
+    "normal_workflow",
+    "uniform_workflow",
+    "exponential_workflow",
+    "bimodal_workflow",
+    "trimodal_workflow",
+    "SYNTHETIC_WORKFLOWS",
+    "make_colmena_workflow",
+    "make_topeft_workflow",
+    "DynamicDAG",
+    "save_workflow",
+    "load_workflow",
+    "workflow_from_records",
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "export_attempts_csv",
+]

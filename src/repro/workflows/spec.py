@@ -1,0 +1,148 @@
+"""Task and workflow specifications.
+
+A :class:`TaskSpec` carries the 4-tuple the paper's task model hides
+from the allocator (Section II-B): the true peak consumption of each
+resource plus the true duration.  The simulator is the only component
+allowed to look at these values — the allocator sees a task's
+consumption only after a successful completion, and only through the
+record it is handed.
+
+A :class:`WorkflowSpec` is an ordered stream of task specs (submission
+order is the x-axis of Figures 2 and 4) with optional dependencies for
+DAG-structured applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.resources import Resource, ResourceVector
+
+__all__ = ["TaskSpec", "WorkflowSpec"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task's hidden ground truth.
+
+    Attributes
+    ----------
+    task_id:
+        Submission-order ID, unique within the workflow, counted from 0.
+    category:
+        The task's function/category name; the allocator maintains
+        independent state per category (Section III-B).
+    consumption:
+        True peak consumption per resource (the ``c, m, d`` of the
+        model).  Unknown to the allocator before completion.
+    duration:
+        True execution time ``t`` in seconds when run to completion.
+    dependencies:
+        IDs of tasks that must complete before this one becomes ready.
+    """
+
+    task_id: int
+    category: str
+    consumption: ResourceVector
+    duration: float
+    dependencies: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError(f"task_id must be >= 0, got {self.task_id}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not self.category:
+            raise ValueError("category must be non-empty")
+        for dep in self.dependencies:
+            if dep == self.task_id:
+                raise ValueError(f"task {self.task_id} depends on itself")
+
+
+class WorkflowSpec:
+    """An ordered collection of task specs forming one workflow run.
+
+    Tasks are stored in submission order; IDs must be dense 0..n-1 and
+    dependencies must point backwards (a dynamic workflow can only
+    depend on work it has already generated).
+    """
+
+    def __init__(self, name: str, tasks: Sequence[TaskSpec]) -> None:
+        if not name:
+            raise ValueError("workflow name must be non-empty")
+        if not tasks:
+            raise ValueError("workflow must contain at least one task")
+        for index, task in enumerate(tasks):
+            if task.task_id != index:
+                raise ValueError(
+                    f"task IDs must be dense submission order: position {index} "
+                    f"holds task_id {task.task_id}"
+                )
+            for dep in task.dependencies:
+                if not (0 <= dep < index):
+                    raise ValueError(
+                        f"task {index} depends on {dep}, which is not an "
+                        "earlier task"
+                    )
+        self._name = name
+        self._tasks: Tuple[TaskSpec, ...] = tuple(tasks)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def tasks(self) -> Tuple[TaskSpec, ...]:
+        return self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return iter(self._tasks)
+
+    def __getitem__(self, task_id: int) -> TaskSpec:
+        return self._tasks[task_id]
+
+    def categories(self) -> Tuple[str, ...]:
+        """Distinct categories in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for task in self._tasks:
+            seen.setdefault(task.category, None)
+        return tuple(seen)
+
+    def tasks_of(self, category: str) -> Tuple[TaskSpec, ...]:
+        return tuple(t for t in self._tasks if t.category == category)
+
+    def max_consumption(self) -> ResourceVector:
+        """Componentwise maximum true consumption over all tasks.
+
+        The simulator validates this against the worker capacity up
+        front: a task that cannot fit any worker would retry forever.
+        """
+        peak = ResourceVector()
+        for task in self._tasks:
+            peak = peak.componentwise_max(task.consumption)
+        return peak
+
+    def total_consumption(self, resource: Resource) -> float:
+        """Sum over tasks of peak-consumption x duration (AWE numerator)."""
+        return sum(t.consumption[resource] * t.duration for t in self._tasks)
+
+    def validate_fits(self, capacity: ResourceVector) -> None:
+        """Raise if any task's true consumption exceeds a whole worker."""
+        for task in self._tasks:
+            blown = capacity.exceeded_by(task.consumption)
+            if blown:
+                keys = ", ".join(r.key for r in blown)
+                raise ValueError(
+                    f"task {task.task_id} ({task.category}) exceeds worker "
+                    f"capacity in: {keys} — it could never complete"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowSpec({self._name!r}, tasks={len(self._tasks)}, "
+            f"categories={list(self.categories())})"
+        )

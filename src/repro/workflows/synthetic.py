@@ -1,0 +1,324 @@
+"""The five synthetic workflows of the evaluation (Figure 4).
+
+Each workflow has 1000 tasks of a *single* category — the paper's
+worst case, where the allocator cannot lean on category separation and
+must discover structure inside one record stream (Section V-B).  Each
+distribution targets one stochastic behaviour from Section II-D:
+
+* **Normal** and **Uniform** — common randomness;
+* **Exponential** — outliers (the hardest: heavy upper tail);
+* **Bimodal** — specialization of tasks (two latent task kinds);
+* **Phasing Trimodal** — a moving resource distribution: three
+  consecutive phases, each with its own mode, exercising the
+  significance-weighted phase adaptation.
+
+Memory and disk are sampled from the same distribution family (the
+paper notes disk "shares the same distribution with memory") and cores
+from a scaled-down variant ("cores have a slightly different
+distribution").  Durations are lognormal around a minute, independent
+of the resource draws.  All samples are clipped to fit the paper's
+16-core / 64 GB workers so every task is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.resources import ResourceVector
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+__all__ = [
+    "SyntheticSpec",
+    "SYNTHETIC_WORKFLOWS",
+    "make_synthetic_workflow",
+    "make_mixed_workflow",
+    "normal_workflow",
+    "uniform_workflow",
+    "exponential_workflow",
+    "bimodal_workflow",
+    "trimodal_workflow",
+]
+
+#: Paper worker bounds used for clipping samples to feasible tasks.
+_MAX_MEMORY_MB = 60_000.0
+_MAX_CORES = 16.0
+_MIN_MEMORY_MB = 50.0
+_MIN_CORES = 0.1
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Descriptor of one synthetic workflow family."""
+
+    name: str
+    description: str
+    #: memory_sampler(rng, n) -> MB array; also used for disk.
+    memory_sampler: Callable[[np.random.Generator, int], np.ndarray]
+    #: cores_sampler(rng, n) -> cores array.
+    cores_sampler: Callable[[np.random.Generator, int], np.ndarray]
+
+
+def _clip_memory(samples: np.ndarray) -> np.ndarray:
+    return np.clip(samples, _MIN_MEMORY_MB, _MAX_MEMORY_MB)
+
+
+def _clip_cores(samples: np.ndarray) -> np.ndarray:
+    return np.clip(samples, _MIN_CORES, _MAX_CORES)
+
+
+def _normal_memory(rng: np.random.Generator, n: int) -> np.ndarray:
+    # The running example of Figure 3b: N(8 GB, 2 GB).
+    return _clip_memory(rng.normal(8_000.0, 2_000.0, n))
+
+
+def _normal_cores(rng: np.random.Generator, n: int) -> np.ndarray:
+    return _clip_cores(rng.normal(4.0, 1.0, n))
+
+
+def _uniform_memory(rng: np.random.Generator, n: int) -> np.ndarray:
+    return _clip_memory(rng.uniform(2_000.0, 14_000.0, n))
+
+
+def _uniform_cores(rng: np.random.Generator, n: int) -> np.ndarray:
+    return _clip_cores(rng.uniform(1.0, 8.0, n))
+
+
+def _exponential_memory(rng: np.random.Generator, n: int) -> np.ndarray:
+    # Shifted exponential: most tasks small, rare huge outliers.
+    return _clip_memory(500.0 + rng.exponential(3_000.0, n))
+
+
+def _exponential_cores(rng: np.random.Generator, n: int) -> np.ndarray:
+    return _clip_cores(0.5 + rng.exponential(1.5, n))
+
+
+def _bimodal_memory(rng: np.random.Generator, n: int) -> np.ndarray:
+    modes = rng.random(n) < 0.5
+    low = rng.normal(4_000.0, 500.0, n)
+    high = rng.normal(12_000.0, 800.0, n)
+    return _clip_memory(np.where(modes, low, high))
+
+
+def _bimodal_cores(rng: np.random.Generator, n: int) -> np.ndarray:
+    modes = rng.random(n) < 0.5
+    low = rng.normal(2.0, 0.3, n)
+    high = rng.normal(8.0, 0.8, n)
+    return _clip_cores(np.where(modes, low, high))
+
+
+#: (mean, std) per phase of the Phasing Trimodal workflow.  The phases
+#: are deliberately non-monotone (mid, high, low): a purely ascending
+#: sequence is a gift to Max Seen (its running maximum tracks each new
+#: phase), whereas the drop into the final phase punishes any algorithm
+#: that cannot forget — exactly the moving-distribution stochasticity
+#: this workflow exists to capture (Section II-D1, element 4).
+_TRIMODAL_MEMORY_PHASES: Tuple[Tuple[float, float], ...] = (
+    (8_000.0, 500.0),
+    (13_000.0, 700.0),
+    (3_000.0, 300.0),
+)
+_TRIMODAL_CORES_PHASES: Tuple[Tuple[float, float], ...] = (
+    (6.0, 0.5),
+    (10.0, 0.8),
+    (2.0, 0.3),
+)
+
+
+def _phased(
+    phases: Tuple[Tuple[float, float], ...],
+    clip: Callable[[np.ndarray], np.ndarray],
+) -> Callable[[np.random.Generator, int], np.ndarray]:
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        # Tasks run through the phases *in submission order*: the moving
+        # distribution is the point of this workflow.
+        boundaries = np.linspace(0, n, len(phases) + 1).astype(int)
+        out = np.empty(n, dtype=np.float64)
+        for (mean, std), lo, hi in zip(phases, boundaries[:-1], boundaries[1:]):
+            out[lo:hi] = rng.normal(mean, std, hi - lo)
+        return clip(out)
+
+    return sampler
+
+
+_SPECS: Dict[str, SyntheticSpec] = {
+    "normal": SyntheticSpec(
+        name="normal",
+        description="N(8 GB, 2 GB) memory — common unimodal randomness",
+        memory_sampler=_normal_memory,
+        cores_sampler=_normal_cores,
+    ),
+    "uniform": SyntheticSpec(
+        name="uniform",
+        description="U(2 GB, 14 GB) memory — bounded flat randomness",
+        memory_sampler=_uniform_memory,
+        cores_sampler=_uniform_cores,
+    ),
+    "exponential": SyntheticSpec(
+        name="exponential",
+        description="shifted Exp(3 GB) memory — heavy-tailed outliers",
+        memory_sampler=_exponential_memory,
+        cores_sampler=_exponential_cores,
+    ),
+    "bimodal": SyntheticSpec(
+        name="bimodal",
+        description="50/50 mixture of N(4 GB) and N(12 GB) — task specialization",
+        memory_sampler=_bimodal_memory,
+        cores_sampler=_bimodal_cores,
+    ),
+    "trimodal": SyntheticSpec(
+        name="trimodal",
+        description="three sequential phases at 3/8/13 GB — moving distribution",
+        memory_sampler=_phased(_TRIMODAL_MEMORY_PHASES, _clip_memory),
+        cores_sampler=_phased(_TRIMODAL_CORES_PHASES, _clip_cores),
+    ),
+}
+
+#: Names in the paper's presentation order.
+SYNTHETIC_WORKFLOWS: Tuple[str, ...] = (
+    "normal",
+    "uniform",
+    "exponential",
+    "bimodal",
+    "trimodal",
+)
+
+
+def make_synthetic_workflow(
+    name: str, n_tasks: int = 1000, seed: Optional[int] = 0
+) -> WorkflowSpec:
+    """Generate one of the five synthetic workflows.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SYNTHETIC_WORKFLOWS`.
+    n_tasks:
+        Task count; the paper uses 1000, the scaling study (E-X1) goes
+        to 20000.
+    seed:
+        RNG seed; the same (name, n_tasks, seed) always yields the same
+        workflow.
+    """
+    try:
+        spec = _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown synthetic workflow {name!r}; choose from {SYNTHETIC_WORKFLOWS}"
+        ) from None
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    rng = np.random.default_rng(seed)
+    memory = spec.memory_sampler(rng, n_tasks)
+    disk = spec.memory_sampler(rng, n_tasks)  # same family, independent draw
+    cores = spec.cores_sampler(rng, n_tasks)
+    # Durations around a minute, independent of resource magnitudes.
+    durations = np.clip(rng.lognormal(np.log(60.0), 0.35, n_tasks), 5.0, 600.0)
+
+    tasks = [
+        TaskSpec(
+            task_id=i,
+            category=f"synthetic_{name}",
+            consumption=ResourceVector.of(
+                cores=float(cores[i]), memory=float(memory[i]), disk=float(disk[i])
+            ),
+            duration=float(durations[i]),
+        )
+        for i in range(n_tasks)
+    ]
+    return WorkflowSpec(name=name, tasks=tasks)
+
+
+def make_mixed_workflow(
+    n_tasks: int = 1000,
+    seed: Optional[int] = 0,
+    categories: Tuple[str, ...] = ("normal", "exponential", "bimodal"),
+) -> WorkflowSpec:
+    """A multi-category stream interleaving several distributions.
+
+    The paper's synthetic workflows are deliberately single-category
+    (the worst case for the allocator); production workflows are not.
+    This generator interleaves tasks from several synthetic families,
+    each under its own category label, so per-category state isolation
+    can be exercised at scale: a correct allocator must do as well on
+    the mix as on the parts, while an allocator that pooled the records
+    would blur three distributions into mush.
+
+    Tasks are interleaved round-robin so every category is active
+    throughout the run (no phase structure beyond the constituents').
+    """
+    if n_tasks < len(categories):
+        raise ValueError(
+            f"n_tasks={n_tasks} cannot cover {len(categories)} categories"
+        )
+    for name in categories:
+        if name not in _SPECS:
+            raise KeyError(
+                f"unknown synthetic family {name!r}; choose from {SYNTHETIC_WORKFLOWS}"
+            )
+    rng = np.random.default_rng(seed)
+    per_category = n_tasks // len(categories)
+    streams = {}
+    for index, name in enumerate(categories):
+        spec = _SPECS[name]
+        sub_rng = np.random.default_rng(rng.integers(2**63))
+        count = per_category + (1 if index < n_tasks % len(categories) else 0)
+        streams[name] = {
+            "memory": spec.memory_sampler(sub_rng, count),
+            "disk": spec.memory_sampler(sub_rng, count),
+            "cores": spec.cores_sampler(sub_rng, count),
+            "durations": np.clip(
+                sub_rng.lognormal(np.log(60.0), 0.35, count), 5.0, 600.0
+            ),
+            "cursor": 0,
+        }
+    tasks = []
+    task_id = 0
+    while task_id < n_tasks:
+        for name in categories:
+            stream = streams[name]
+            i = stream["cursor"]
+            if i >= len(stream["memory"]) or task_id >= n_tasks:
+                continue
+            stream["cursor"] += 1
+            tasks.append(
+                TaskSpec(
+                    task_id=task_id,
+                    category=f"mixed_{name}",
+                    consumption=ResourceVector.of(
+                        cores=float(stream["cores"][i]),
+                        memory=float(stream["memory"][i]),
+                        disk=float(stream["disk"][i]),
+                    ),
+                    duration=float(stream["durations"][i]),
+                )
+            )
+            task_id += 1
+    return WorkflowSpec(name="mixed", tasks=tasks)
+
+
+def normal_workflow(n_tasks: int = 1000, seed: Optional[int] = 0) -> WorkflowSpec:
+    """The Normal synthetic workflow (see :func:`make_synthetic_workflow`)."""
+    return make_synthetic_workflow("normal", n_tasks, seed)
+
+
+def uniform_workflow(n_tasks: int = 1000, seed: Optional[int] = 0) -> WorkflowSpec:
+    """The Uniform synthetic workflow."""
+    return make_synthetic_workflow("uniform", n_tasks, seed)
+
+
+def exponential_workflow(n_tasks: int = 1000, seed: Optional[int] = 0) -> WorkflowSpec:
+    """The Exponential synthetic workflow (heavy-tailed outliers)."""
+    return make_synthetic_workflow("exponential", n_tasks, seed)
+
+
+def bimodal_workflow(n_tasks: int = 1000, seed: Optional[int] = 0) -> WorkflowSpec:
+    """The Bimodal synthetic workflow (task specialization)."""
+    return make_synthetic_workflow("bimodal", n_tasks, seed)
+
+
+def trimodal_workflow(n_tasks: int = 1000, seed: Optional[int] = 0) -> WorkflowSpec:
+    """The Phasing Trimodal synthetic workflow (moving distribution)."""
+    return make_synthetic_workflow("trimodal", n_tasks, seed)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordList
+from repro.core.resources import ResourceVector
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def normal_records(rng) -> RecordList:
+    """200 records from the paper's running example N(8 GB, 2 GB)."""
+    records = RecordList()
+    for task_id, value in enumerate(np.clip(rng.normal(8000, 2000, 200), 50, None)):
+        records.add(float(value), significance=float(task_id + 1), task_id=task_id)
+    return records
+
+
+@pytest.fixture
+def bimodal_records(rng) -> RecordList:
+    """Two clearly separated clusters: 200 MB and 1000 MB."""
+    records = RecordList()
+    task_id = 0
+    for value in rng.normal(200, 10, 60):
+        records.add(float(max(value, 1.0)), significance=float(task_id + 1), task_id=task_id)
+        task_id += 1
+    for value in rng.normal(1000, 20, 60):
+        records.add(float(max(value, 1.0)), significance=float(task_id + 1), task_id=task_id)
+        task_id += 1
+    return records
+
+
+@pytest.fixture
+def small_alloc() -> ResourceVector:
+    return ResourceVector.of(cores=1, memory=1000, disk=1000)

@@ -1,0 +1,129 @@
+"""Tests for Bucket / BucketState."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import Bucket, BucketState
+from repro.core.records import RecordList
+
+
+def make_records(pairs):
+    rl = RecordList()
+    for task_id, (value, sig) in enumerate(pairs):
+        rl.add(value, significance=sig, task_id=task_id)
+    return rl
+
+
+class TestBucket:
+    def test_fields(self):
+        b = Bucket(lo=0, hi=2, rep=10.0, prob=0.5, estimate=7.0)
+        assert b.count == 3
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Bucket(lo=2, hi=1, rep=1.0, prob=0.5, estimate=1.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Bucket(lo=0, hi=0, rep=1.0, prob=1.5, estimate=1.0)
+
+    def test_estimate_above_rep_rejected(self):
+        with pytest.raises(ValueError):
+            Bucket(lo=0, hi=0, rep=1.0, prob=0.5, estimate=2.0)
+
+
+class TestBucketState:
+    def test_single_bucket(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0), (30.0, 1.0)])
+        state = BucketState.single(rl)
+        assert len(state) == 1
+        assert state[0].rep == 30.0
+        assert state[0].prob == pytest.approx(1.0)
+        assert state[0].estimate == pytest.approx(20.0)
+        state.validate()
+
+    def test_two_buckets_reps_and_probs(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0), (100.0, 2.0)])
+        state = BucketState(rl, [1, 2])
+        assert [b.rep for b in state.buckets] == [20.0, 100.0]
+        assert state[0].prob == pytest.approx(2.0 / 4.0)
+        assert state[1].prob == pytest.approx(2.0 / 4.0)
+        state.validate()
+
+    def test_significance_weighted_probabilities(self):
+        # Paper Section IV-A: probability = significance share.
+        rl = make_records([(10.0, 1.0), (20.0, 9.0)])
+        state = BucketState(rl, [0, 1])
+        assert state[0].prob == pytest.approx(0.1)
+        assert state[1].prob == pytest.approx(0.9)
+
+    def test_weighted_estimates(self):
+        rl = make_records([(10.0, 1.0), (30.0, 3.0)])
+        state = BucketState.single(rl)
+        assert state[0].estimate == pytest.approx((10 + 90) / 4)
+
+    def test_breaks_must_cover_all_records(self):
+        rl = make_records([(1.0, 1.0), (2.0, 1.0)])
+        with pytest.raises(ValueError, match="last break index"):
+            BucketState(rl, [0])
+
+    def test_breaks_must_increase(self):
+        rl = make_records([(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BucketState(rl, [1, 1, 2])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            BucketState(RecordList(), [0])
+
+    def test_choose_bucket_distribution(self):
+        rl = make_records([(10.0, 1.0), (20.0, 9.0)])
+        state = BucketState(rl, [0, 1])
+        rng = np.random.default_rng(0)
+        draws = [state.choose_bucket(rng).rep for _ in range(2000)]
+        high_share = sum(1 for d in draws if d == 20.0) / len(draws)
+        assert 0.85 < high_share < 0.95  # expect ~0.9
+
+    def test_first_allocation_is_a_rep(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0), (30.0, 1.0)])
+        state = BucketState(rl, [0, 1, 2])
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert state.first_allocation(rng) in (10.0, 20.0, 30.0)
+
+    def test_retry_only_considers_higher_buckets(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0), (30.0, 1.0)])
+        state = BucketState(rl, [0, 1, 2])
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            retry = state.retry_allocation(10.0, rng)
+            assert retry in (20.0, 30.0)
+
+    def test_retry_from_top_returns_none(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0)])
+        state = BucketState(rl, [0, 1])
+        rng = np.random.default_rng(3)
+        assert state.retry_allocation(20.0, rng) is None
+        assert state.retry_allocation(25.0, rng) is None
+
+    def test_retry_single_eligible_is_deterministic(self):
+        rl = make_records([(10.0, 1.0), (20.0, 1.0)])
+        state = BucketState(rl, [0, 1])
+        rng = np.random.default_rng(4)
+        assert state.retry_allocation(15.0, rng) == 20.0
+
+    def test_retry_renormalizes_suffix_probabilities(self):
+        rl = make_records([(10.0, 8.0), (20.0, 1.0), (30.0, 1.0)])
+        state = BucketState(rl, [0, 1, 2])
+        rng = np.random.default_rng(5)
+        draws = [state.retry_allocation(10.0, rng) for _ in range(2000)]
+        assert set(draws) <= {20.0, 30.0}
+        # Equal significances above: ~50/50 split.
+        share = sum(1 for d in draws if d == 20.0) / len(draws)
+        assert 0.4 < share < 0.6
+
+    def test_probs_sum_to_one(self):
+        rl = make_records([(float(v), float(v + 1)) for v in range(20)])
+        state = BucketState(rl, [4, 9, 19])
+        assert state.probs.sum() == pytest.approx(1.0)
+        state.validate()

@@ -1,0 +1,118 @@
+"""Tests for the bucket-state diagnostics probes."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import AllocatorConfig, TaskOrientedAllocator
+from repro.core.baselines import MaxSeen
+from repro.core.diagnostics import AllocatorProbe, StateProbe
+from repro.core.exhaustive import ExhaustiveBucketing
+from repro.core.resources import MEMORY, ResourceVector
+
+
+class TestStateProbe:
+    def test_snapshots_on_update(self):
+        eb = ExhaustiveBucketing(rng=np.random.default_rng(0))
+        probe = StateProbe(eb)
+        for i, value in enumerate([100.0, 200.0, 1000.0, 1100.0]):
+            eb.update(value, significance=i + 1.0, task_id=i)
+        assert len(probe.snapshots) == 4
+        assert probe.snapshots[-1].n_records == 4
+        assert probe.snapshots[-1].n_buckets >= 1
+
+    def test_stride_subsamples(self):
+        eb = ExhaustiveBucketing(rng=np.random.default_rng(0))
+        probe = StateProbe(eb, stride=5)
+        for i in range(12):
+            eb.update(float(100 + i), significance=i + 1.0, task_id=i)
+        assert len(probe.snapshots) == 2  # at records 5 and 10
+
+    def test_snapshot_fields_consistent(self):
+        eb = ExhaustiveBucketing(rng=np.random.default_rng(0))
+        probe = StateProbe(eb)
+        for i, value in enumerate([100.0] * 5 + [900.0] * 5):
+            eb.update(value, significance=i + 1.0, task_id=i)
+        snap = probe.snapshots[-1]
+        assert len(snap.reps) == snap.n_buckets == len(snap.probs)
+        assert abs(sum(snap.probs) - 1.0) < 1e-9
+        assert snap.top_rep == max(snap.reps)
+        assert snap.expected_allocation <= snap.top_rep
+
+    def test_requires_bucketing_algorithm(self):
+        with pytest.raises(TypeError):
+            StateProbe(MaxSeen())
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            StateProbe(ExhaustiveBucketing(), stride=0)
+
+    def test_detach_restores_update(self):
+        eb = ExhaustiveBucketing(rng=np.random.default_rng(0))
+        probe = StateProbe(eb)
+        probe.detach()
+        eb.update(100.0, task_id=0)
+        assert probe.snapshots == []
+
+    def test_summaries(self):
+        eb = ExhaustiveBucketing(rng=np.random.default_rng(0))
+        probe = StateProbe(eb)
+        for i, value in enumerate([100.0, 900.0, 120.0, 880.0, 110.0]):
+            eb.update(value, significance=i + 1.0, task_id=i)
+        assert probe.max_buckets_seen() >= 1
+        assert len(probe.bucket_count_series()) == 5
+        assert len(probe.expected_allocation_series()) == 5
+
+
+class TestAllocatorProbe:
+    def test_probes_attach_per_category_resource(self):
+        alloc = TaskOrientedAllocator(
+            AllocatorConfig(algorithm="exhaustive_bucketing", seed=0)
+        )
+        probe = AllocatorProbe(alloc)
+        for task_id in range(4):
+            alloc.observe(
+                "proc",
+                ResourceVector.of(cores=1, memory=500.0 + task_id, disk=100),
+                task_id=task_id,
+            )
+        assert len(probe.probes) == 3  # cores, memory, disk
+        memory_probe = probe.probe("proc", MEMORY)
+        assert len(memory_probe.snapshots) == 4
+
+    def test_max_buckets_paper_claim(self):
+        """Feed a realistic stream: the bucket count never exceeds the
+        paper's cap of 10 (Section V-A)."""
+        rng = np.random.default_rng(3)
+        alloc = TaskOrientedAllocator(
+            AllocatorConfig(algorithm="exhaustive_bucketing", seed=0)
+        )
+        probe = AllocatorProbe(alloc, stride=5)
+        for task_id in range(300):
+            alloc.observe(
+                "proc",
+                ResourceVector.of(
+                    cores=float(rng.uniform(1, 4)),
+                    memory=float(rng.normal(8000, 2000)),
+                    disk=float(rng.normal(8000, 2000)),
+                ),
+                task_id=task_id,
+            )
+        assert 1 <= probe.max_buckets_seen() <= 10
+
+    def test_non_bucketing_algorithms_not_probed(self):
+        alloc = TaskOrientedAllocator(AllocatorConfig(algorithm="max_seen", seed=0))
+        probe = AllocatorProbe(alloc)
+        alloc.observe("p", ResourceVector.of(cores=1, memory=10, disk=10), task_id=0)
+        assert probe.probes == {}
+        assert probe.max_buckets_seen() == 0
+
+    def test_detach(self):
+        alloc = TaskOrientedAllocator(
+            AllocatorConfig(algorithm="greedy_bucketing", seed=0)
+        )
+        probe = AllocatorProbe(alloc)
+        alloc.observe("p", ResourceVector.of(cores=1, memory=10, disk=10), task_id=0)
+        n = len(probe.probe("p", MEMORY).snapshots)
+        probe.detach()
+        alloc.observe("p", ResourceVector.of(cores=1, memory=20, disk=10), task_id=1)
+        assert len(probe.probe("p", MEMORY).snapshots) == n

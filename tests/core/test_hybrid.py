@@ -1,0 +1,74 @@
+"""Tests for the Quantized-then-Bucketing hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import ExhaustiveBucketing
+from repro.core.hybrid import HybridBucketing
+from repro.core.quantized import QuantizedBucketing
+
+
+class TestHybridBucketing:
+    def test_registry_and_flags(self):
+        assert HybridBucketing.name == "hybrid_bucketing"
+        assert HybridBucketing.conservative_exploration is True
+        assert HybridBucketing.deterministic_predictions is False
+
+    def test_starts_on_initial_algorithm(self):
+        hb = HybridBucketing(switch_after=5, rng=np.random.default_rng(0))
+        assert isinstance(hb.active, QuantizedBucketing)
+        assert not hb.switched
+
+    def test_switches_after_threshold(self):
+        hb = HybridBucketing(switch_after=5, rng=np.random.default_rng(0))
+        for i in range(5):
+            hb.update(float(100 + i), task_id=i)
+        assert hb.switched
+        assert isinstance(hb.active, ExhaustiveBucketing)
+
+    def test_primary_is_warm_at_handoff(self):
+        """Both constituents ingest every record from the start."""
+        hb = HybridBucketing(switch_after=10, rng=np.random.default_rng(0))
+        for i in range(10):
+            hb.update(float(100 + 10 * i), task_id=i)
+        assert hb._primary.n_records == 10
+        assert hb._initial.n_records == 10
+        assert hb.predict() is not None
+
+    def test_switch_after_zero_is_primary_immediately(self):
+        hb = HybridBucketing(switch_after=0, rng=np.random.default_rng(0))
+        assert isinstance(hb.active, ExhaustiveBucketing)
+
+    def test_negative_switch_rejected(self):
+        with pytest.raises(ValueError):
+            HybridBucketing(switch_after=-1)
+
+    def test_predictions_delegate_before_switch(self):
+        hb = HybridBucketing(switch_after=100, rng=np.random.default_rng(0))
+        for i, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+            hb.update(v, task_id=i)
+        # Quantized: median of the 4 records.
+        assert hb.predict() == 20.0
+        assert hb.predict_retry(20.0, 20.0) == 40.0
+
+    def test_custom_constituents(self):
+        hb = HybridBucketing(
+            initial="max_seen", primary="greedy_bucketing", switch_after=2
+        )
+        hb.update(100.0, task_id=0)
+        assert hb.predict() is not None  # max_seen answers
+        hb.update(200.0, task_id=1)
+        assert hb.switched
+
+    def test_unknown_constituent_rejected(self):
+        with pytest.raises(KeyError):
+            HybridBucketing(initial="nope")
+
+    def test_reset(self):
+        hb = HybridBucketing(switch_after=2, rng=np.random.default_rng(0))
+        for i in range(3):
+            hb.update(float(i + 1), task_id=i)
+        hb.reset()
+        assert hb.n_records == 0
+        assert not hb.switched
+        assert hb.predict() is None

@@ -1,0 +1,107 @@
+"""Tests for k-means bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import KMeansBucketing, kmeans_1d
+
+
+class TestKmeans1D:
+    def test_two_clear_clusters(self):
+        values = np.sort(np.concatenate([
+            np.random.default_rng(0).normal(100, 5, 50),
+            np.random.default_rng(1).normal(1000, 20, 50),
+        ]))
+        centroids, labels = kmeans_1d(values, 2)
+        assert centroids[0] == pytest.approx(100, abs=10)
+        assert centroids[1] == pytest.approx(1000, abs=30)
+        # Labels split exactly at the gap.
+        assert (labels[:50] == 0).all() and (labels[50:] == 1).all()
+
+    def test_k_greater_than_unique_values(self):
+        values = np.array([5.0, 5.0, 5.0])
+        centroids, labels = kmeans_1d(values, 4)
+        assert centroids.size == 1
+        assert (labels == 0).all()
+
+    def test_centroids_ascending(self):
+        rng = np.random.default_rng(2)
+        values = np.sort(rng.uniform(0, 100, 200))
+        centroids, _ = kmeans_1d(values, 5)
+        assert (np.diff(centroids) >= 0).all()
+
+    def test_single_cluster(self):
+        values = np.array([1.0, 2.0, 3.0])
+        centroids, labels = kmeans_1d(values, 1)
+        assert centroids[0] == pytest.approx(2.0)
+        assert (labels == 0).all()
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.normal(50, 10, 100))
+        a, _ = kmeans_1d(values, 3)
+        b, _ = kmeans_1d(values, 3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+
+
+class TestKMeansBucketing:
+    def test_registry(self):
+        assert KMeansBucketing.name == "kmeans_bucketing"
+        assert KMeansBucketing.deterministic_predictions is True
+
+    def test_ladder_from_clusters(self):
+        algo = KMeansBucketing(k=2)
+        for i, v in enumerate([100.0, 110.0, 105.0, 1000.0, 1010.0]):
+            algo.update(v, task_id=i)
+        reps = algo.bucket_reps()
+        assert reps == (110.0, 1010.0)
+        assert algo.predict() == 110.0
+        assert algo.predict_retry(110.0, 110.0) == 1010.0
+        assert algo.predict_retry(1010.0, 1010.0) is None
+
+    def test_no_records(self):
+        algo = KMeansBucketing()
+        assert algo.predict() is None
+        assert algo.bucket_reps() is None
+
+    def test_identical_records_single_rep(self):
+        algo = KMeansBucketing(k=3)
+        for i in range(10):
+            algo.update(306.0, task_id=i)
+        assert algo.bucket_reps() == (306.0,)
+
+    def test_reps_are_observed_values(self):
+        rng = np.random.default_rng(4)
+        algo = KMeansBucketing(k=4)
+        values = [float(v) for v in rng.normal(500, 100, 60)]
+        for i, v in enumerate(values):
+            algo.update(max(v, 1.0), task_id=i)
+        for rep in algo.bucket_reps():
+            assert rep in {max(v, 1.0) for v in values}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeansBucketing(k=0)
+
+    def test_runs_in_simulator(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_cell
+
+        result = run_cell(
+            "bimodal",
+            "kmeans_bucketing",
+            ExperimentConfig(n_tasks=80, n_workers=4, ramp_up_seconds=30.0),
+        )
+        assert result.ledger.n_tasks == 80
+
+    def test_reset(self):
+        algo = KMeansBucketing()
+        algo.update(1.0, task_id=0)
+        algo.reset()
+        assert algo.n_records == 0

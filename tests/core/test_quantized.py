@@ -1,0 +1,90 @@
+"""Tests for Quantized Bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantized import QuantizedBucketing
+
+
+def feed(algo, values):
+    for task_id, v in enumerate(values):
+        algo.update(float(v), task_id=task_id)
+    return algo
+
+
+class TestQuantizedBucketing:
+    def test_registry_and_flags(self):
+        assert QuantizedBucketing.name == "quantized_bucketing"
+        assert QuantizedBucketing.conservative_exploration is False
+        assert QuantizedBucketing.deterministic_predictions is True
+
+    def test_default_splits_at_median(self):
+        qb = feed(QuantizedBucketing(), [10.0, 20.0, 30.0, 40.0])
+        assert qb.bucket_reps() == (20.0, 40.0)
+        assert qb.predict() == 20.0
+
+    def test_odd_count_median(self):
+        qb = feed(QuantizedBucketing(), [10.0, 20.0, 30.0])
+        assert qb.predict() == 20.0
+
+    def test_no_records(self):
+        qb = QuantizedBucketing()
+        assert qb.predict() is None
+        assert qb.predict_retry(1.0, 1.0) is None
+        assert qb.bucket_reps() is None
+
+    def test_retry_climbs_ladder(self):
+        qb = feed(QuantizedBucketing(), [10.0, 20.0, 30.0, 40.0])
+        assert qb.predict_retry(20.0, 20.0) == 40.0
+        assert qb.predict_retry(40.0, 40.0) is None
+
+    def test_retry_respects_observed_peak(self):
+        qb = feed(QuantizedBucketing(), [10.0, 20.0, 30.0, 40.0])
+        # Observed peak already above the max rep: nothing to offer.
+        assert qb.predict_retry(20.0, 45.0) is None
+
+    def test_duplicate_reps_collapsed(self):
+        qb = feed(QuantizedBucketing(), [306.0] * 30)
+        assert qb.bucket_reps() == (306.0,)
+        assert qb.predict() == 306.0
+        assert qb.predict_retry(306.0, 306.0) is None
+
+    def test_multi_quantile_ladder(self):
+        qb = QuantizedBucketing(quantiles=(0.25, 0.5, 0.75))
+        feed(qb, [float(i) for i in range(1, 101)])
+        reps = qb.bucket_reps()
+        assert len(reps) == 4
+        assert reps[-1] == 100.0
+        assert list(reps) == sorted(reps)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedBucketing(quantiles=())
+        with pytest.raises(ValueError):
+            QuantizedBucketing(quantiles=(0.0,))
+        with pytest.raises(ValueError):
+            QuantizedBucketing(quantiles=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            QuantizedBucketing(quantiles=(0.7, 0.3))
+
+    def test_reps_are_observed_values(self, rng):
+        values = np.clip(rng.normal(500, 100, 99), 1, None)
+        qb = feed(QuantizedBucketing(), values)
+        observed = set(values)
+        for rep in qb.bucket_reps():
+            assert rep in observed
+
+    def test_significance_ignored(self):
+        qb = QuantizedBucketing()
+        qb.update(10.0, significance=1000.0, task_id=0)
+        qb.update(20.0, significance=0.1, task_id=1)
+        qb.update(30.0, significance=0.1, task_id=2)
+        qb.update(40.0, significance=0.1, task_id=3)
+        # Count-based median, not significance-weighted.
+        assert qb.predict() == 20.0
+
+    def test_reset(self):
+        qb = feed(QuantizedBucketing(), [1.0, 2.0])
+        qb.reset()
+        assert qb.n_records == 0
+        assert qb.predict() is None

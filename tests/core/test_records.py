@@ -1,0 +1,139 @@
+"""Tests for ResourceRecord / RecordList."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordList, ResourceRecord
+
+
+class TestResourceRecord:
+    def test_basic_construction(self):
+        r = ResourceRecord(value=100.0, significance=2.0, task_id=7)
+        assert r.value == 100.0 and r.significance == 2.0 and r.task_id == 7
+
+    def test_orders_by_value(self):
+        assert ResourceRecord(1.0) < ResourceRecord(2.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(-1.0)
+
+    def test_nonpositive_significance_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(1.0, significance=0.0)
+        with pytest.raises(ValueError):
+            ResourceRecord(1.0, significance=-2.0)
+
+
+class TestRecordList:
+    def test_append_keeps_sorted(self):
+        rl = RecordList()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            rl.add(v)
+        assert list(rl.values) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_extend(self):
+        rl = RecordList()
+        rl.extend(ResourceRecord(v) for v in [3.0, 1.0, 2.0])
+        assert list(rl.values) == [1.0, 2.0, 3.0]
+
+    def test_len_iter_getitem_bool(self):
+        rl = RecordList([ResourceRecord(2.0), ResourceRecord(1.0)])
+        assert len(rl) == 2
+        assert [r.value for r in rl] == [1.0, 2.0]
+        assert rl[0].value == 1.0
+        assert bool(rl)
+        assert not RecordList()
+
+    def test_prefix_sums(self):
+        rl = RecordList()
+        rl.add(10.0, significance=1.0)
+        rl.add(20.0, significance=2.0)
+        rl.add(30.0, significance=3.0)
+        assert list(rl.sig_prefix) == [1.0, 3.0, 6.0]
+        assert list(rl.sigval_prefix) == [10.0, 50.0, 140.0]
+
+    def test_sig_sum_ranges(self):
+        rl = RecordList()
+        for i, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+            rl.add(v, significance=float(i + 1))
+        assert rl.sig_sum(0, 3) == 10.0
+        assert rl.sig_sum(1, 2) == 5.0
+        assert rl.sig_sum(2, 2) == 3.0
+
+    def test_weighted_mean_matches_direct_computation(self):
+        rl = RecordList()
+        values = [10.0, 20.0, 30.0]
+        sigs = [1.0, 5.0, 2.0]
+        for v, s in zip(values, sigs):
+            rl.add(v, significance=s)
+        expected = sum(v * s for v, s in zip(values, sigs)) / sum(sigs)
+        assert rl.weighted_mean(0, 2) == pytest.approx(expected)
+
+    def test_weighted_mean_subrange(self):
+        rl = RecordList()
+        for v, s in [(10.0, 1.0), (20.0, 3.0), (30.0, 1.0)]:
+            rl.add(v, significance=s)
+        assert rl.weighted_mean(1, 2) == pytest.approx((20 * 3 + 30) / 4)
+
+    def test_max_value(self):
+        rl = RecordList()
+        for v in [5.0, 1.0, 9.0]:
+            rl.add(v)
+        assert rl.max_value(0, 2) == 9.0
+        assert rl.max_value(0, 1) == 5.0
+
+    def test_range_bounds_checked(self):
+        rl = RecordList([ResourceRecord(1.0)])
+        with pytest.raises(IndexError):
+            rl.sig_sum(0, 1)
+        with pytest.raises(IndexError):
+            rl.weighted_mean(-1, 0)
+
+    def test_index_below(self):
+        rl = RecordList()
+        for v in [10.0, 20.0, 30.0]:
+            rl.add(v)
+        assert rl.index_below(15.0) == 0
+        assert rl.index_below(30.0) == 1   # strictly below
+        assert rl.index_below(31.0) == 2
+        assert rl.index_below(10.0) is None
+        assert rl.index_below(5.0) is None
+
+    def test_views_invalidate_on_append(self):
+        rl = RecordList()
+        rl.add(1.0)
+        _ = rl.values
+        rl.add(2.0)
+        assert list(rl.values) == [1.0, 2.0]
+        assert list(rl.sig_prefix) == [1.0, 2.0]
+
+    def test_views_are_read_only(self):
+        rl = RecordList([ResourceRecord(1.0)])
+        with pytest.raises(ValueError):
+            rl.values[0] = 5.0
+
+    def test_capacity_evicts_lowest_significance(self):
+        rl = RecordList(capacity=3)
+        for i, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+            rl.add(v, significance=float(i + 1))
+        assert len(rl) == 3
+        # The significance-1 record (value 10) was evicted.
+        assert list(rl.values) == [20.0, 30.0, 40.0]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RecordList(capacity=0)
+
+    def test_total_significance(self):
+        rl = RecordList()
+        assert rl.total_significance() == 0.0
+        rl.add(1.0, significance=2.0)
+        rl.add(2.0, significance=3.0)
+        assert rl.total_significance() == 5.0
+
+    def test_snapshot_is_immutable_copy(self):
+        rl = RecordList([ResourceRecord(1.0)])
+        snap = rl.snapshot()
+        rl.add(2.0)
+        assert len(snap) == 1

@@ -1,0 +1,175 @@
+"""Tests for the local process executor (real enforcement)."""
+
+import sys
+import time
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
+from repro.core.resources import CORES, MEMORY, TIME, ResourceVector
+from repro.executor import (
+    ExecutionReport,
+    LocalExecutor,
+    LocalExecutorConfig,
+    LocalTask,
+    reports_awe,
+)
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="executor is Linux-only"
+)
+
+
+def touch_mb(mb):
+    """Allocate and dirty ``mb`` megabytes, return ``mb``."""
+    data = bytearray(int(mb) * 1024 * 1024)
+    for i in range(0, len(data), 4096):
+        data[i] = 1
+    return mb
+
+
+def quick(x):
+    return x * 2
+
+
+def boom():
+    raise RuntimeError("task exploded")
+
+
+def small_config(**kwargs):
+    return LocalExecutorConfig(max_concurrency=2, **kwargs)
+
+
+def fast_allocator(config, min_records=2, manage_time=False):
+    resources = (CORES, MEMORY) + ((TIME,) if manage_time else ())
+    return TaskOrientedAllocator(
+        AllocatorConfig(
+            algorithm="exhaustive_bucketing",
+            resources=resources,
+            machine_capacity=config.capacity,
+            exploratory=ExploratoryConfig(min_records=min_records),
+            seed=1,
+        )
+    )
+
+
+class TestBasicExecution:
+    def test_results_in_input_order(self):
+        executor = LocalExecutor(small_config())
+        reports = executor.map("quick", quick, [1, 2, 3])
+        assert [r.result for r in reports] == [2, 4, 6]
+        assert all(r.succeeded for r in reports)
+
+    def test_empty_batch(self):
+        assert LocalExecutor(small_config()).run([]) == []
+
+    def test_task_ids_unique(self):
+        executor = LocalExecutor(small_config())
+        reports = executor.map("quick", quick, [1, 2, 3, 4])
+        assert len({r.task_id for r in reports}) == 4
+
+    def test_measured_usage_reported(self):
+        executor = LocalExecutor(small_config())
+        reports = executor.map("alloc", touch_mb, [40])
+        attempt = reports[0].attempts[-1]
+        # Peak RSS includes the interpreter: above the 40 MB payload,
+        # but far below the 1 GB bootstrap allocation.
+        assert 40 < attempt.peak_memory_mb < 500
+        assert attempt.runtime_s > 0
+        assert attempt.cores_used > 0
+
+    def test_task_error_reported_not_retried(self):
+        executor = LocalExecutor(small_config())
+        report = executor.run([LocalTask("boom", boom)])[0]
+        assert not report.succeeded
+        assert "task exploded" in report.error
+        assert len(report.attempts) == 1
+
+    def test_task_validation(self):
+        with pytest.raises(TypeError):
+            LocalTask("x", 42)
+        with pytest.raises(ValueError):
+            LocalTask("", quick)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LocalExecutorConfig(max_concurrency=0)
+        with pytest.raises(ValueError):
+            LocalExecutorConfig(max_attempts=0)
+
+
+class TestMemoryEnforcement:
+    def test_overconsumption_killed_and_retried(self):
+        """The paper's assumption 4 on real processes: a task that
+        exceeds its learned allocation is killed (RLIMIT_AS) and
+        retried with a larger one until it succeeds."""
+        config = LocalExecutorConfig(max_concurrency=1)  # serialize: the
+        # bootstrap records must land before the big task dispatches.
+        executor = LocalExecutor(config, allocator=fast_allocator(config))
+        # Two small tasks bootstrap the memory state; the big one then
+        # exceeds the learned ~70 MB bucket.
+        reports = executor.map("alloc", touch_mb, [40, 40, 250])
+        big = reports[-1]
+        assert big.succeeded
+        assert big.n_retries >= 1
+        outcomes = [a.outcome for a in big.attempts]
+        assert "memory_exhausted" in outcomes
+        assert outcomes[-1] == "success"
+        # Allocations strictly grew across retries.
+        allocations = [a.allocation[MEMORY] for a in big.attempts]
+        assert allocations == sorted(allocations)
+        assert allocations[-1] > allocations[0]
+
+    def test_records_feed_back(self):
+        config = small_config()
+        allocator = fast_allocator(config)
+        executor = LocalExecutor(config, allocator=allocator)
+        executor.map("alloc", touch_mb, [40, 40, 40])
+        assert allocator.records_count("alloc") == 3
+
+    def test_give_up_after_max_attempts(self):
+        config = small_config(max_attempts=2)
+        # Capacity of 128 MB: the 300 MB task cannot ever fit.
+        tiny = LocalExecutorConfig(
+            capacity=ResourceVector.of(cores=4, memory=128),
+            max_concurrency=1,
+            max_attempts=2,
+        )
+        executor = LocalExecutor(tiny, allocator=fast_allocator(tiny, min_records=1))
+        report = executor.run([LocalTask("alloc", touch_mb, (300,))])[0]
+        assert not report.succeeded
+        assert "gave up" in report.error
+        assert len(report.attempts) == 2
+
+
+class TestTimeEnforcement:
+    def test_wall_time_kill_and_retry(self):
+        config = LocalExecutorConfig(
+            max_concurrency=1, manage_time=True, max_attempts=6
+        )
+        allocator = fast_allocator(config, min_records=1, manage_time=True)
+        executor = LocalExecutor(config, allocator=allocator)
+        # Bootstrap with a fast task so the learned time bucket is tiny,
+        # then run one that sleeps past it.
+        executor.run([LocalTask("sleepy", time.sleep, (0.05,))])
+        report = executor.run([LocalTask("sleepy", time.sleep, (1.0,))])[0]
+        assert report.succeeded
+        outcomes = [a.outcome for a in report.attempts]
+        assert "time_exhausted" in outcomes
+        assert outcomes[-1] == "success"
+
+
+class TestAwe:
+    def test_awe_of_real_runs(self):
+        config = small_config()
+        executor = LocalExecutor(config, allocator=fast_allocator(config))
+        reports = executor.map("alloc", touch_mb, [40, 45, 40, 45, 42, 44])
+        awe = reports_awe(reports, MEMORY)
+        assert 0.0 < awe <= 1.0
+        # Steady-state tasks get near-peak allocations, so the batch
+        # does far better than the 1 GB bootstrap would alone.
+        assert awe > 0.03
+
+    def test_awe_skips_failures(self):
+        report = ExecutionReport(task_id=0, category="x", attempts=[])
+        assert reports_awe([report], MEMORY) == 1.0

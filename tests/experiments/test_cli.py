@@ -1,0 +1,43 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure4", "--tasks", "50"])
+        assert args.experiment == "figure4"
+        assert args.tasks == 50
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.tasks == 1000
+        assert args.workers == 20
+        assert args.seed == 0
+
+
+class TestMain:
+    def test_figure2_prints_table(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "evaluate_mpnn" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--tasks", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_figure5_tiny_grid(self, capsys):
+        # A tiny but complete run through the heavy path.
+        assert main(["figure5", "--tasks", "60", "--workers", "3", "--ramp-up", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "exhaustive_bucketing" in out

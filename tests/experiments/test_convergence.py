@@ -1,0 +1,40 @@
+"""Tests for the phase-adaptation convergence study (E-X5)."""
+
+import pytest
+
+from repro.experiments import convergence
+from repro.experiments.config import ExperimentConfig
+
+SMALL = ExperimentConfig(n_tasks=300, n_workers=6, ramp_up_seconds=60.0)
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return convergence.run(
+            SMALL, algorithms=("max_seen", "exhaustive_bucketing")
+        )
+
+    def test_series_shapes(self, result):
+        assert set(result.series) == {"max_seen", "exhaustive_bucketing"}
+        for values in result.series.values():
+            assert len(values) == 300
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+    def test_phase_means_partition(self, result):
+        for algorithm in result.series:
+            p1, p2, p3 = result.phase_means(algorithm)
+            for mean in (p1, p2, p3):
+                assert 0.0 <= mean <= 1.0
+
+    def test_bucketing_not_worse_in_final_phase(self, result):
+        """After the drop to the 3 GB phase, the adaptive allocator must
+        at least match the running-maximum baseline."""
+        advantage = result.final_phase_advantage("exhaustive_bucketing", "max_seen")
+        assert advantage > -0.08
+
+    def test_render(self, result):
+        text = convergence.render(result)
+        assert "E-X5" in text
+        assert "phase 3 mean" in text
+        assert "max_seen" in text

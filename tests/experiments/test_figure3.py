@@ -1,0 +1,46 @@
+"""Tests for the Figure 3b/3c running-example experiment."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure3.run(n_records=500, seed=0)
+
+
+class TestFigure3:
+    def test_both_algorithms_present(self, result):
+        assert set(result.states) == {"greedy_bucketing", "exhaustive_bucketing"}
+
+    def test_bucket_structure_found(self, result):
+        """The paper's example finds multiple buckets on N(8, 2) GB."""
+        for algorithm in result.states:
+            assert result.n_buckets(algorithm) >= 1
+            _, state, _ = result.states[algorithm]
+            state.validate()
+
+    def test_costs_beat_or_match_single_bucket(self, result):
+        for algorithm in result.states:
+            assert result.expected_waste(algorithm) <= result.single_bucket_cost + 1e-6
+
+    def test_break_values_consistent_with_buckets(self, result):
+        for break_values, state, _ in result.states.values():
+            assert len(break_values) == len(state) - 1
+            reps = [b.rep for b in state.buckets]
+            for value, rep in zip(break_values, reps[:-1]):
+                assert value == pytest.approx(rep)
+
+    def test_render(self, result):
+        text = figure3.render(result)
+        assert "Figure 3b/3c" in text
+        assert "greedy_bucketing" in text
+        assert "single-bucket expected waste" in text
+
+    def test_deterministic(self):
+        a = figure3.run(n_records=200, seed=3)
+        b = figure3.run(n_records=200, seed=3)
+        assert a.single_bucket_cost == b.single_bucket_cost
+        for algorithm in a.states:
+            assert a.expected_waste(algorithm) == b.expected_waste(algorithm)

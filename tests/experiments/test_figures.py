@@ -1,0 +1,125 @@
+"""Tests for the figure experiment modules (small scale)."""
+
+import pytest
+
+from repro.experiments import figure2, figure4, figure5, figure6
+from repro.experiments.config import ExperimentConfig
+
+SMALL = ExperimentConfig(n_tasks=100, n_workers=4, ramp_up_seconds=60.0)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(seed=0)
+
+    def test_both_workflows_present(self, result):
+        assert set(result.workflows) == {"colmena_xtb", "topeft"}
+
+    def test_all_five_categories_covered(self, result):
+        pairs = {(c.workflow, c.category) for c in result.categories}
+        assert ("colmena_xtb", "evaluate_mpnn") in pairs
+        assert ("topeft", "accumulating") in pairs
+        assert len(pairs) == 5
+
+    def test_paper_memory_claims(self, result):
+        mpnn = result.stats_of("colmena_xtb", "evaluate_mpnn")
+        lo, p50, mean, hi = mpnn.stats["memory_mb"]
+        assert lo >= 1000 and hi <= 1200
+        topeft_disk = result.stats_of("topeft", "processing").stats["disk_mb"]
+        assert topeft_disk[0] == topeft_disk[3] == 306.0
+
+    def test_render_contains_rows(self, result):
+        text = figure2.render(result)
+        assert "evaluate_mpnn" in text
+        assert "accumulating" in text
+        assert "Figure 2" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(n_tasks=300, seed=0)
+
+    def test_all_workflows(self, result):
+        assert set(result.workflows) == {
+            "normal", "uniform", "exponential", "bimodal", "trimodal"
+        }
+
+    def test_series_lengths(self, result):
+        assert all(len(s) == 300 for s in result.series.values())
+
+    def test_trimodal_phase_means_non_monotone(self, result):
+        p1, p2, p3 = result.trimodal_phase_means
+        assert p2 > p1 > p3
+
+    def test_render(self, result):
+        text = figure4.render(result)
+        assert "Figure 4" in text
+        assert "trimodal phase means" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(
+            config=SMALL,
+            workflows=("normal", "exponential"),
+            algorithms=("whole_machine", "max_seen", "exhaustive_bucketing"),
+        )
+
+    def test_awe_table_shape(self, result):
+        table = result.awe_table("memory")
+        assert set(table) == {"whole_machine", "max_seen", "exhaustive_bucketing"}
+        assert set(table["max_seen"]) == {"normal", "exponential"}
+
+    def test_whole_machine_is_floor(self, result):
+        for wf in ("normal", "exponential"):
+            for resource in ("cores", "memory", "disk"):
+                wm = result.grid.awe(wf, "whole_machine", resource)
+                best = max(
+                    result.grid.awe(wf, algo, resource)
+                    for algo in result.grid.algorithms
+                )
+                assert wm <= best + 1e-9
+
+    def test_best_per_cell(self, result):
+        winners = result.best_per_cell("memory")
+        assert set(winners) == {"normal", "exponential"}
+        assert all(w in result.grid.algorithms for w in winners.values())
+
+    def test_render(self, result):
+        text = figure5.render(result)
+        assert "Figure 5" in text and "memory" in text and "best per workflow" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure6.run(
+            config=SMALL,
+            workflows=("normal",),
+            algorithms=("max_seen", "min_waste", "quantized_bucketing"),
+        )
+
+    def test_whole_machine_excluded_by_default(self):
+        assert "whole_machine" not in figure6.FIGURE6_ALGORITHMS
+        assert len(figure6.FIGURE6_ALGORITHMS) == 6
+
+    def test_rows_cover_grid(self, result):
+        rows = result.waste_rows("memory")
+        assert len(rows) == 3
+        for workflow, algorithm, frag, failed, share in rows:
+            assert frag >= 0 and failed >= 0
+            assert 0 <= share <= 1
+
+    def test_quantized_has_failed_share(self, result):
+        """Quantized's median-first strategy must show failed-allocation
+        waste where Max Seen has essentially none (paper Section V-D)."""
+        quantized = result.failed_share("normal", "quantized_bucketing", "memory")
+        max_seen = result.failed_share("normal", "max_seen", "memory")
+        assert quantized > max_seen
+
+    def test_render(self, result):
+        text = figure6.render(result)
+        assert "Figure 6" in text and "failed share" in text

@@ -1,0 +1,63 @@
+"""Tests for ASCII rendering helpers."""
+
+from repro.experiments.reporting import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(
+            headers=["name", "value"],
+            rows=[("alpha", 1.5), ("b", 20.25)],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "1.500" in lines[3]
+
+    def test_float_format_applied(self):
+        out = format_table(["x"], [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in out
+
+    def test_column_widths_accommodate_cells(self):
+        out = format_table(["h"], [("a-very-long-cell",)])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("a-very-long-cell")
+
+    def test_non_float_cells_stringified(self):
+        out = format_table(["a", "b"], [(1, "x")])
+        assert "1" in out and "x" in out
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [])
+
+    def test_downsampling(self):
+        out = format_series("s", list(range(1000)), max_points=10)
+        assert out.count("\n") <= 60
+
+    def test_constant_series(self):
+        out = format_series("s", [5.0, 5.0, 5.0])
+        assert "5" in out
+
+
+class TestFormatHistogram:
+    def test_empty(self):
+        assert "(empty)" in format_histogram("h", [])
+
+    def test_constant_values(self):
+        out = format_histogram("h", [306.0] * 10)
+        assert "306" in out and "n=10" in out
+
+    def test_bins_cover_range(self):
+        out = format_histogram("h", [0.0, 10.0], n_bins=2)
+        lines = out.splitlines()
+        assert len(lines) == 3  # title + 2 bins
+
+    def test_counts_sum(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        out = format_histogram("h", values, n_bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()[1:]]
+        assert sum(counts) == 5

@@ -1,0 +1,205 @@
+"""Tests for the waste/AWE ledger."""
+
+import pytest
+
+from repro.core.resources import CORES, DISK, MEMORY, ResourceVector
+from repro.sim.accounting import Ledger, WasteBreakdown
+from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
+from repro.workflows.spec import TaskSpec
+
+RESOURCES = (CORES, MEMORY, DISK)
+
+
+def completed_task(
+    task_id=0,
+    category="proc",
+    consumption=None,
+    duration=100.0,
+    attempts=None,
+):
+    """Build a completed SimTask from (allocation, runtime, outcome) specs."""
+    consumption = consumption or ResourceVector.of(cores=1, memory=500, disk=100)
+    spec = TaskSpec(
+        task_id=task_id, category=category, consumption=consumption, duration=duration
+    )
+    task = SimTask(spec)
+    attempts = attempts or [
+        (ResourceVector.of(cores=1, memory=1000, disk=1000), duration, AttemptOutcome.SUCCESS)
+    ]
+    clock = 0.0
+    for index, (allocation, runtime, outcome) in enumerate(attempts):
+        task.record_attempt(
+            Attempt(
+                index=index,
+                worker_id=0,
+                allocation=allocation,
+                start_time=clock,
+                runtime=runtime,
+                outcome=outcome,
+                observed=consumption if outcome is AttemptOutcome.SUCCESS else allocation,
+                exhausted=(MEMORY,) if outcome is AttemptOutcome.EXHAUSTED else (),
+            )
+        )
+        clock += runtime
+    task.state = TaskState.COMPLETED
+    task.completion_time = clock
+    return task
+
+
+class TestSingleTaskAccounting:
+    def test_perfect_allocation_zero_waste(self):
+        ledger = Ledger(RESOURCES)
+        consumption = ResourceVector.of(cores=1, memory=500, disk=100)
+        task = completed_task(
+            consumption=consumption,
+            attempts=[(consumption, 100.0, AttemptOutcome.SUCCESS)],
+        )
+        ledger.record_task(task)
+        for res in RESOURCES:
+            assert ledger.waste(res).total == pytest.approx(0.0)
+            assert ledger.awe(res) == pytest.approx(1.0)
+
+    def test_internal_fragmentation_formula(self):
+        """Waste = t * (a - c) on the successful attempt (Section II-C)."""
+        ledger = Ledger(RESOURCES)
+        task = completed_task(
+            consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+            duration=100.0,
+            attempts=[
+                (ResourceVector.of(cores=2, memory=800, disk=100), 100.0, AttemptOutcome.SUCCESS)
+            ],
+        )
+        ledger.record_task(task)
+        assert ledger.waste(MEMORY).internal_fragmentation == pytest.approx(300 * 100)
+        assert ledger.waste(CORES).internal_fragmentation == pytest.approx(1 * 100)
+        assert ledger.waste(DISK).internal_fragmentation == pytest.approx(0.0)
+
+    def test_failed_allocation_formula(self):
+        """Waste = sum a_i * t_i over killed attempts."""
+        ledger = Ledger(RESOURCES)
+        task = completed_task(
+            consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+            duration=100.0,
+            attempts=[
+                (ResourceVector.of(cores=1, memory=250, disk=100), 50.0, AttemptOutcome.EXHAUSTED),
+                (ResourceVector.of(cores=1, memory=500, disk=100), 100.0, AttemptOutcome.SUCCESS),
+            ],
+        )
+        ledger.record_task(task)
+        assert ledger.waste(MEMORY).failed_allocation == pytest.approx(250 * 50)
+        assert ledger.waste(MEMORY).internal_fragmentation == pytest.approx(0.0)
+        # The failed attempt charges every resource it held.
+        assert ledger.waste(CORES).failed_allocation == pytest.approx(1 * 50)
+
+    def test_awe_formula(self):
+        ledger = Ledger(RESOURCES)
+        task = completed_task(
+            consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+            duration=100.0,
+            attempts=[
+                (ResourceVector.of(cores=1, memory=250, disk=100), 50.0, AttemptOutcome.EXHAUSTED),
+                (ResourceVector.of(cores=1, memory=1000, disk=100), 100.0, AttemptOutcome.SUCCESS),
+            ],
+        )
+        ledger.record_task(task)
+        expected = (500 * 100) / (250 * 50 + 1000 * 100)
+        assert ledger.awe(MEMORY) == pytest.approx(expected)
+
+    def test_eviction_excluded_from_awe(self):
+        ledger = Ledger(RESOURCES)
+        alloc = ResourceVector.of(cores=1, memory=1000, disk=100)
+        task = completed_task(
+            consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+            duration=100.0,
+            attempts=[
+                (alloc, 30.0, AttemptOutcome.EVICTED),
+                (alloc, 100.0, AttemptOutcome.SUCCESS),
+            ],
+        )
+        ledger.record_task(task)
+        assert ledger.waste(MEMORY).eviction == pytest.approx(1000 * 30)
+        # AWE only sees the successful attempt.
+        assert ledger.awe(MEMORY) == pytest.approx(500 / 1000)
+        assert ledger.n_evicted_attempts == 1
+
+    def test_incomplete_task_rejected(self):
+        ledger = Ledger(RESOURCES)
+        spec = TaskSpec(
+            task_id=0,
+            category="p",
+            consumption=ResourceVector.of(cores=1, memory=1, disk=1),
+            duration=1.0,
+        )
+        with pytest.raises(ValueError):
+            ledger.record_task(SimTask(spec))
+
+
+class TestAggregation:
+    def test_identity_holds(self):
+        """allocation = consumption + fragmentation + failed, exactly."""
+        ledger = Ledger(RESOURCES)
+        for task_id in range(5):
+            task = completed_task(
+                task_id=task_id,
+                consumption=ResourceVector.of(cores=1, memory=400 + 50 * task_id, disk=100),
+                duration=60.0 + task_id,
+                attempts=[
+                    (ResourceVector.of(cores=1, memory=300, disk=200), 20.0, AttemptOutcome.EXHAUSTED),
+                    (ResourceVector.of(cores=2, memory=700, disk=200), 60.0 + task_id, AttemptOutcome.SUCCESS),
+                ],
+            )
+            ledger.record_task(task)
+        assert ledger.identity_holds()
+
+    def test_per_category_breakdown(self):
+        ledger = Ledger(RESOURCES)
+        ledger.record_task(completed_task(task_id=0, category="a"))
+        ledger.record_task(completed_task(task_id=1, category="b"))
+        assert set(ledger.categories()) == {"a", "b"}
+        assert 0 < ledger.awe_of_category("a", MEMORY) <= 1.0
+        assert ledger.waste_of_category("a", MEMORY).total >= 0
+
+    def test_awe_series_is_cumulative(self):
+        ledger = Ledger(RESOURCES)
+        perfect = ResourceVector.of(cores=1, memory=500, disk=100)
+        ledger.record_task(
+            completed_task(task_id=0, attempts=[(perfect, 100.0, AttemptOutcome.SUCCESS)])
+        )
+        ledger.record_task(
+            completed_task(
+                task_id=1,
+                attempts=[
+                    (ResourceVector.of(cores=1, memory=1000, disk=100), 100.0, AttemptOutcome.SUCCESS)
+                ],
+            )
+        )
+        series = ledger.awe_series(MEMORY)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == pytest.approx((500 + 500) / (500 + 1000))
+
+    def test_counters(self):
+        ledger = Ledger(RESOURCES)
+        ledger.record_task(
+            completed_task(
+                attempts=[
+                    (ResourceVector.of(cores=1, memory=250, disk=100), 10.0, AttemptOutcome.EXHAUSTED),
+                    (ResourceVector.of(cores=1, memory=1000, disk=100), 100.0, AttemptOutcome.SUCCESS),
+                ]
+            )
+        )
+        assert ledger.n_tasks == 1
+        assert ledger.n_attempts == 2
+        assert ledger.n_failed_attempts == 1
+
+    def test_empty_resource_list_rejected(self):
+        with pytest.raises(ValueError):
+            Ledger(())
+
+    def test_waste_breakdown_arithmetic(self):
+        a = WasteBreakdown(internal_fragmentation=10.0, failed_allocation=5.0, eviction=2.0)
+        b = WasteBreakdown(internal_fragmentation=1.0, failed_allocation=1.0)
+        total = a + b
+        assert total.internal_fragmentation == 11.0
+        assert total.total == 17.0
+        assert a.fraction_failed() == pytest.approx(5.0 / 15.0)
+        assert WasteBreakdown().fraction_failed() == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the simulation timeline recorder."""
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.core.resources import ResourceVector
+from repro.sim.manager import SimulationConfig, WorkflowManager
+from repro.sim.observability import TimelineRecorder
+from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+
+def flat_workflow(n=30, duration=60.0):
+    return WorkflowSpec(
+        "flat",
+        [
+            TaskSpec(
+                task_id=i,
+                category="proc",
+                consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+                duration=duration,
+            )
+            for i in range(n)
+        ],
+    )
+
+
+def make_manager(**pool_kwargs):
+    return WorkflowManager(
+        flat_workflow(),
+        SimulationConfig(
+            allocator=AllocatorConfig(algorithm="max_seen", seed=1),
+            pool=PoolConfig(
+                n_workers=3,
+                capacity=ResourceVector.of(cores=8, memory=8000, disk=8000),
+                **pool_kwargs,
+            ),
+        ),
+    )
+
+
+class TestTimelineRecorder:
+    def test_samples_cover_the_run(self):
+        manager = make_manager()
+        recorder = TimelineRecorder(manager, period=30.0)
+        result = manager.run()
+        timeline = recorder.timeline
+        assert timeline.samples, "no samples recorded"
+        assert timeline.samples[0].time == 0.0
+        assert timeline.samples[-1].time <= result.makespan + 30.0
+        # Sampling cadence respected.
+        gaps = [
+            b.time - a.time
+            for a, b in zip(timeline.samples, timeline.samples[1:])
+        ]
+        assert all(abs(g - 30.0) < 1e-9 for g in gaps)
+
+    def test_completions_monotone(self):
+        manager = make_manager()
+        recorder = TimelineRecorder(manager, period=20.0)
+        manager.run()
+        completed = recorder.timeline.series("n_completed")
+        assert completed == sorted(completed)
+        assert completed[-1] == 30
+
+    def test_utilization_in_unit_interval(self):
+        manager = make_manager()
+        recorder = TimelineRecorder(manager, period=15.0)
+        manager.run()
+        for key in ("cores", "memory", "disk"):
+            for value in recorder.timeline.utilization_series(key):
+                assert 0.0 <= value <= 1.0 + 1e-9
+        assert 0.0 <= recorder.timeline.mean_utilization("cores") <= 1.0
+
+    def test_worker_count_tracks_ramp(self):
+        manager = make_manager(ramp_up_seconds=120.0, seed=5)
+        recorder = TimelineRecorder(manager, period=10.0)
+        manager.run()
+        workers = recorder.timeline.series("n_workers")
+        assert workers[0] == 1.0          # ramp starts with the seed worker
+        assert recorder.timeline.peak_workers() == 3
+
+    def test_queue_drains(self):
+        manager = make_manager()
+        recorder = TimelineRecorder(manager, period=10.0)
+        manager.run()
+        queue = recorder.timeline.series("n_ready_tasks")
+        assert recorder.timeline.peak_queue_depth() >= queue[-1]
+        assert queue[-1] == 0.0
+
+    def test_invalid_period(self):
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            TimelineRecorder(manager, period=0.0)
+
+    def test_recorder_does_not_block_drain(self):
+        """The recorder must stop scheduling once the workflow is done,
+        or the engine would never drain."""
+        manager = make_manager()
+        TimelineRecorder(manager, period=5.0)
+        result = manager.run()  # completes => the recorder stopped itself
+        assert result.ledger.n_tasks == 30

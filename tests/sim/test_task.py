@@ -1,0 +1,104 @@
+"""Tests for the simulated task lifecycle."""
+
+import pytest
+
+from repro.core.resources import MEMORY, ResourceVector
+from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
+from repro.workflows.spec import TaskSpec
+
+
+def make_spec(task_id=0, deps=()):
+    return TaskSpec(
+        task_id=task_id,
+        category="proc",
+        consumption=ResourceVector.of(cores=1, memory=500, disk=100),
+        duration=60.0,
+        dependencies=tuple(deps),
+    )
+
+
+def make_attempt(index=0, outcome=AttemptOutcome.SUCCESS, exhausted=()):
+    return Attempt(
+        index=index,
+        worker_id=0,
+        allocation=ResourceVector.of(cores=1, memory=1000, disk=1000),
+        start_time=0.0,
+        runtime=60.0,
+        outcome=outcome,
+        observed=ResourceVector.of(cores=1, memory=500, disk=100),
+        exhausted=tuple(exhausted),
+    )
+
+
+class TestAttempt:
+    def test_end_time(self):
+        a = make_attempt()
+        assert a.end_time == 60.0
+
+    def test_exhausted_outcome_requires_resources(self):
+        with pytest.raises(ValueError):
+            make_attempt(outcome=AttemptOutcome.EXHAUSTED)
+
+    def test_non_exhausted_cannot_name_resources(self):
+        with pytest.raises(ValueError):
+            make_attempt(outcome=AttemptOutcome.SUCCESS, exhausted=(MEMORY,))
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Attempt(
+                index=0,
+                worker_id=0,
+                allocation=ResourceVector.of(cores=1),
+                start_time=0.0,
+                runtime=-1.0,
+                outcome=AttemptOutcome.SUCCESS,
+                observed=ResourceVector(),
+            )
+
+
+class TestSimTask:
+    def test_dependency_free_task_is_ready(self):
+        task = SimTask(make_spec())
+        assert task.state is TaskState.READY
+        assert task.ready_time == 0.0
+
+    def test_dependent_task_is_pending(self):
+        task = SimTask(make_spec(task_id=1, deps=[0]))
+        assert task.state is TaskState.PENDING
+        assert task.ready_time is None
+
+    def test_becomes_ready_when_deps_complete(self):
+        task = SimTask(make_spec(task_id=2, deps=[0, 1]))
+        assert not task.dependency_completed(0, now=5.0)
+        assert task.state is TaskState.PENDING
+        assert task.dependency_completed(1, now=9.0)
+        assert task.state is TaskState.READY
+        assert task.ready_time == 9.0
+
+    def test_attempt_indices_enforced(self):
+        task = SimTask(make_spec())
+        task.record_attempt(make_attempt(index=0, outcome=AttemptOutcome.EXHAUSTED, exhausted=(MEMORY,)))
+        with pytest.raises(ValueError, match="out of order"):
+            task.record_attempt(make_attempt(index=5))
+
+    def test_attempt_counters(self):
+        task = SimTask(make_spec())
+        task.record_attempt(make_attempt(0, AttemptOutcome.EXHAUSTED, (MEMORY,)))
+        task.record_attempt(make_attempt(1, AttemptOutcome.EVICTED))
+        task.record_attempt(make_attempt(2, AttemptOutcome.SUCCESS))
+        assert task.n_attempts == 3
+        assert task.n_exhausted_attempts == 1
+        assert task.n_evicted_attempts == 1
+
+    def test_final_attempt_requires_completion(self):
+        task = SimTask(make_spec())
+        with pytest.raises(RuntimeError):
+            task.final_attempt()
+        task.record_attempt(make_attempt(0))
+        task.state = TaskState.COMPLETED
+        assert task.final_attempt().outcome is AttemptOutcome.SUCCESS
+
+    def test_passthrough_properties(self):
+        task = SimTask(make_spec(task_id=3))
+        assert task.task_id == 3
+        assert task.category == "proc"

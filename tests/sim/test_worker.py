@@ -1,0 +1,103 @@
+"""Tests for worker capacity accounting."""
+
+import pytest
+
+from repro.core.resources import CORES, DISK, MEMORY, ResourceVector
+from repro.sim.worker import Worker
+
+
+def make_worker(cores=16, memory=64000, disk=64000):
+    return Worker(0, ResourceVector.of(cores=cores, memory=memory, disk=disk))
+
+
+class TestWorkerPlacement:
+    def test_place_and_release(self):
+        w = make_worker()
+        alloc = ResourceVector.of(cores=4, memory=8000, disk=1000)
+        w.place(1, alloc)
+        assert w.n_running == 1
+        assert w.free_capacity()[CORES] == 12
+        released = w.release(1, held_for=10.0)
+        assert released == alloc
+        assert w.n_running == 0
+        assert w.free_capacity()[CORES] == 16
+        assert w.busy_time == 10.0
+
+    def test_can_fit_respects_all_dimensions(self):
+        w = make_worker()
+        w.place(1, ResourceVector.of(cores=1, memory=60000, disk=100))
+        assert not w.can_fit(ResourceVector.of(cores=1, memory=8000, disk=100))
+        assert w.can_fit(ResourceVector.of(cores=1, memory=4000, disk=100))
+
+    def test_exact_fill_allowed(self):
+        w = make_worker()
+        w.place(1, ResourceVector.of(cores=16, memory=64000, disk=64000))
+        assert w.n_running == 1
+        assert not w.has_headroom()
+
+    def test_overcommit_rejected(self):
+        w = make_worker(cores=2)
+        w.place(1, ResourceVector.of(cores=2, memory=100, disk=100))
+        with pytest.raises(ValueError, match="does not fit"):
+            w.place(2, ResourceVector.of(cores=1, memory=100, disk=100))
+
+    def test_duplicate_placement_rejected(self):
+        w = make_worker()
+        w.place(1, ResourceVector.of(cores=1, memory=100, disk=100))
+        with pytest.raises(ValueError, match="already"):
+            w.place(1, ResourceVector.of(cores=1, memory=100, disk=100))
+
+    def test_release_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            make_worker().release(42)
+
+    def test_unknown_resource_request_fails_fit(self):
+        from repro.core.resources import RESOURCES
+
+        gpu = RESOURCES.register("test_gpu_kind", unit="devices")
+        w = make_worker()
+        assert not w.can_fit(ResourceVector({gpu: 1.0}))
+
+    def test_float_residue_never_blocks_full_capacity(self):
+        """Regression: fractional churn must not leave phantom commitments."""
+        w = make_worker()
+        for round_trip in range(200):
+            alloc = ResourceVector.of(cores=3.92781, memory=11506.8, disk=12247.6)
+            w.place(round_trip, alloc)
+            w.release(round_trip)
+        assert w.can_fit(ResourceVector.of(cores=16, memory=64000, disk=64000))
+
+    def test_headroom_requires_slack_everywhere(self):
+        w = make_worker()
+        assert w.has_headroom()
+        w.place(1, ResourceVector.of(cores=16, memory=100, disk=100))
+        assert not w.has_headroom()  # cores exhausted
+
+    def test_evict_all(self):
+        w = make_worker()
+        a1 = ResourceVector.of(cores=1, memory=100, disk=100)
+        a2 = ResourceVector.of(cores=2, memory=200, disk=200)
+        w.place(1, a1)
+        w.place(2, a2)
+        evicted = w.evict_all(now=50.0)
+        assert evicted == {1: a1, 2: a2}
+        assert w.n_running == 0
+        assert not w.alive
+        assert w.left_at == 50.0
+        assert w.free_capacity()[CORES] == 16
+
+    def test_committed_tracks_sum(self):
+        w = make_worker()
+        w.place(1, ResourceVector.of(cores=1, memory=100, disk=100))
+        w.place(2, ResourceVector.of(cores=2, memory=200, disk=200))
+        assert w.committed[CORES] == pytest.approx(3)
+        assert w.committed[MEMORY] == pytest.approx(300)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Worker(0, ResourceVector())
+
+    def test_running_task_ids(self):
+        w = make_worker()
+        w.place(7, ResourceVector.of(cores=1, memory=1, disk=1))
+        assert w.running_task_ids == (7,)

@@ -1,0 +1,82 @@
+"""Tests for the ColmenaXTB-shaped trace generator (Figure 2 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import CORES, DISK, MEMORY, PAPER_WORKER_CAPACITY
+from repro.workflows.colmena import (
+    N_COMPUTE_ENERGY,
+    N_EVALUATE_MPNN,
+    make_colmena_workflow,
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return make_colmena_workflow(seed=0)
+
+
+class TestStructure:
+    def test_paper_task_counts(self, workflow):
+        assert len(workflow.tasks_of("evaluate_mpnn")) == N_EVALUATE_MPNN == 228
+        assert len(workflow.tasks_of("compute_atomization_energy")) == N_COMPUTE_ENERGY == 1000
+        assert len(workflow) == 1228
+
+    def test_strict_phase_ordering(self, workflow):
+        """All evaluate_mpnn tasks are submitted before any energy task."""
+        categories = [t.category for t in workflow]
+        first_energy = categories.index("compute_atomization_energy")
+        assert all(c == "evaluate_mpnn" for c in categories[:first_energy])
+        assert all(c == "compute_atomization_energy" for c in categories[first_energy:])
+
+    def test_deterministic(self):
+        a = make_colmena_workflow(seed=5)
+        b = make_colmena_workflow(seed=5)
+        assert all(x.consumption == y.consumption for x, y in zip(a, b))
+
+    def test_scale(self):
+        wf = make_colmena_workflow(seed=0, scale=0.1)
+        assert len(wf) == pytest.approx(123, abs=2)
+        with pytest.raises(ValueError):
+            make_colmena_workflow(scale=0)
+
+    def test_fits_paper_worker(self, workflow):
+        workflow.validate_fits(PAPER_WORKER_CAPACITY)
+
+
+class TestFigure2Marginals:
+    def test_mpnn_memory_band(self, workflow):
+        """Figure 2: evaluate_mpnn uses 1 GB to 1.2 GB of memory."""
+        memory = [t.consumption[MEMORY] for t in workflow.tasks_of("evaluate_mpnn")]
+        assert min(memory) >= 1000 and max(memory) <= 1200
+
+    def test_energy_memory_around_200mb(self, workflow):
+        memory = np.array(
+            [t.consumption[MEMORY] for t in workflow.tasks_of("compute_atomization_energy")]
+        )
+        assert 180 < memory.mean() < 220
+
+    def test_energy_cores_scattered(self, workflow):
+        """Figure 2: energy cores range from 0.9 to 3.6 — inherent
+        stochasticity within one category."""
+        cores = np.array(
+            [t.consumption[CORES] for t in workflow.tasks_of("compute_atomization_energy")]
+        )
+        assert cores.min() >= 0.9 and cores.max() <= 3.6
+        assert cores.max() - cores.min() > 2.0
+
+    def test_disk_tiny_everywhere(self, workflow):
+        """~10 MB disk vs the 1 GB exploratory floor: the cause of the
+        single-digit disk AWE the paper reports for this workflow."""
+        disk = np.array([t.consumption[DISK] for t in workflow])
+        assert np.median(disk) < 20
+        assert disk.max() <= 100
+
+    def test_category_memory_separation(self, workflow):
+        """The two categories are clearly distinct in memory — the
+        argument for per-category allocator state."""
+        mpnn = np.mean([t.consumption[MEMORY] for t in workflow.tasks_of("evaluate_mpnn")])
+        energy = np.mean(
+            [t.consumption[MEMORY] for t in workflow.tasks_of("compute_atomization_energy")]
+        )
+        assert mpnn > 4 * energy

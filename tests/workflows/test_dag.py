@@ -1,0 +1,81 @@
+"""Tests for the dynamic DAG builder."""
+
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.workflows.dag import DynamicDAG
+
+
+def consumption():
+    return ResourceVector.of(cores=1, memory=100, disk=10)
+
+
+class TestDynamicDAG:
+    def test_ids_assigned_densely(self):
+        dag = DynamicDAG()
+        ids = [dag.add_task("a", consumption(), 1.0) for _ in range(3)]
+        assert ids == [0, 1, 2]
+        assert len(dag) == 3
+
+    def test_dependencies_must_point_backwards(self):
+        dag = DynamicDAG()
+        dag.add_task("a", consumption(), 1.0)
+        with pytest.raises(ValueError):
+            dag.add_task("b", consumption(), 1.0, dependencies=[5])
+
+    def test_parents_and_children(self):
+        dag = DynamicDAG()
+        a = dag.add_task("map", consumption(), 1.0)
+        b = dag.add_task("map", consumption(), 1.0)
+        c = dag.add_task("reduce", consumption(), 1.0, dependencies=[a, b])
+        assert dag.parents_of(c) == (a, b)
+        assert dag.children_of(a) == (c,)
+
+    def test_levels(self):
+        dag = DynamicDAG()
+        a = dag.add_task("x", consumption(), 1.0)
+        b = dag.add_task("x", consumption(), 1.0, dependencies=[a])
+        c = dag.add_task("x", consumption(), 1.0, dependencies=[b])
+        d = dag.add_task("x", consumption(), 1.0)
+        levels = dag.levels()
+        assert levels == {a: 0, b: 1, c: 2, d: 0}
+        assert dag.level_of(c) == 2
+
+    def test_critical_path(self):
+        dag = DynamicDAG()
+        a = dag.add_task("x", consumption(), 10.0)
+        b = dag.add_task("x", consumption(), 20.0, dependencies=[a])
+        dag.add_task("x", consumption(), 5.0)
+        assert dag.critical_path_length() == pytest.approx(30.0)
+
+    def test_duplicate_dependencies_deduped(self):
+        dag = DynamicDAG()
+        a = dag.add_task("x", consumption(), 1.0)
+        b = dag.add_task("x", consumption(), 1.0, dependencies=[a, a, a])
+        assert dag.parents_of(b) == (a,)
+
+    def test_to_workflow_runs_in_simulator(self):
+        from repro.core.allocator import AllocatorConfig
+        from repro.sim.manager import SimulationConfig, WorkflowManager
+        from repro.sim.pool import PoolConfig
+
+        dag = DynamicDAG()
+        maps = [dag.add_task("map", consumption(), 5.0) for _ in range(4)]
+        dag.add_task("reduce", consumption(), 10.0, dependencies=maps)
+        workflow = dag.to_workflow("mapreduce")
+        manager = WorkflowManager(
+            workflow,
+            SimulationConfig(
+                allocator=AllocatorConfig(algorithm="max_seen", seed=0),
+                pool=PoolConfig(
+                    n_workers=2,
+                    capacity=ResourceVector.of(cores=4, memory=4000, disk=4000),
+                ),
+            ),
+        )
+        result = manager.run()
+        assert result.ledger.n_tasks == 5
+
+    def test_empty_dag_to_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicDAG().to_workflow("empty")

@@ -1,0 +1,83 @@
+"""Tests for the mixed multi-category workload and category isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import MEMORY, PAPER_WORKER_CAPACITY
+from repro.workflows.synthetic import make_mixed_workflow
+
+
+class TestMixedWorkflow:
+    def test_default_categories(self):
+        wf = make_mixed_workflow(n_tasks=90, seed=0)
+        assert set(wf.categories()) == {
+            "mixed_normal",
+            "mixed_exponential",
+            "mixed_bimodal",
+        }
+        assert len(wf) == 90
+
+    def test_round_robin_interleaving(self):
+        wf = make_mixed_workflow(n_tasks=30, seed=0)
+        categories = [t.category for t in wf]
+        # Every window of 3 consecutive tasks covers all 3 categories.
+        for i in range(0, 30, 3):
+            assert len(set(categories[i : i + 3])) == 3
+
+    def test_uneven_split_covered(self):
+        wf = make_mixed_workflow(n_tasks=31, seed=0)
+        assert len(wf) == 31
+
+    def test_constituent_distributions_preserved(self):
+        wf = make_mixed_workflow(n_tasks=1500, seed=0)
+        normal_mem = np.array(
+            [t.consumption[MEMORY] for t in wf.tasks_of("mixed_normal")]
+        )
+        exp_mem = np.array(
+            [t.consumption[MEMORY] for t in wf.tasks_of("mixed_exponential")]
+        )
+        assert 7400 < normal_mem.mean() < 8600
+        assert exp_mem.mean() > np.median(exp_mem) * 1.2  # right skew
+
+    def test_fits_paper_worker(self):
+        make_mixed_workflow(n_tasks=300, seed=1).validate_fits(PAPER_WORKER_CAPACITY)
+
+    def test_custom_categories(self):
+        wf = make_mixed_workflow(n_tasks=40, seed=0, categories=("normal", "uniform"))
+        assert set(wf.categories()) == {"mixed_normal", "mixed_uniform"}
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            make_mixed_workflow(categories=("normal", "pareto"))
+        with pytest.raises(ValueError):
+            make_mixed_workflow(n_tasks=2, categories=("normal", "uniform", "bimodal"))
+
+    def test_deterministic(self):
+        a = make_mixed_workflow(n_tasks=60, seed=5)
+        b = make_mixed_workflow(n_tasks=60, seed=5)
+        assert all(x.consumption == y.consumption for x, y in zip(a, b))
+
+
+class TestCategoryIsolation:
+    def test_allocator_states_do_not_bleed(self):
+        """Run the mix end to end: each category's learned memory state
+        must reflect its own distribution, not the pooled one."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_cell
+
+        wf = make_mixed_workflow(n_tasks=450, seed=2)
+        config = ExperimentConfig(n_tasks=450, n_workers=8, ramp_up_seconds=120.0)
+        from repro.sim.manager import WorkflowManager
+
+        manager = WorkflowManager(wf, config.simulation_config("exhaustive_bucketing"))
+        result = manager.run()
+        assert result.ledger.n_tasks == 450
+
+        normal_state = manager.allocator.algorithm("mixed_normal", MEMORY).state
+        bimodal_state = manager.allocator.algorithm("mixed_bimodal", MEMORY).state
+        # The normal category's top rep sits near its own max (~14 GB),
+        # and the bimodal category covers its high mode (~12 GB+).
+        assert 10_000 < max(b.rep for b in normal_state.buckets) < 18_000
+        assert max(b.rep for b in bimodal_state.buckets) > 10_000
+        # Low bimodal mode visible as a bucket below 8 GB.
+        assert min(b.rep for b in bimodal_state.buckets) < 8_000

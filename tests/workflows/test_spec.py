@@ -1,0 +1,91 @@
+"""Tests for TaskSpec / WorkflowSpec."""
+
+import pytest
+
+from repro.core.resources import CORES, MEMORY, ResourceVector
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+
+def consumption(memory=500.0):
+    return ResourceVector.of(cores=1, memory=memory, disk=100)
+
+
+class TestTaskSpec:
+    def test_valid_spec(self):
+        spec = TaskSpec(0, "proc", consumption(), 60.0)
+        assert spec.dependencies == ()
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(-1, "proc", consumption(), 60.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(0, "proc", consumption(), 0.0)
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(0, "", consumption(), 60.0)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(1, "proc", consumption(), 60.0, dependencies=(1,))
+
+
+class TestWorkflowSpec:
+    def test_dense_ids_required(self):
+        tasks = [TaskSpec(0, "a", consumption(), 1.0), TaskSpec(2, "a", consumption(), 1.0)]
+        with pytest.raises(ValueError, match="dense"):
+            WorkflowSpec("w", tasks)
+
+    def test_forward_dependencies_rejected(self):
+        tasks = [
+            TaskSpec(0, "a", consumption(), 1.0, dependencies=()),
+            TaskSpec(1, "a", consumption(), 1.0, dependencies=(2,)),
+            TaskSpec(2, "a", consumption(), 1.0, dependencies=()),
+        ]
+        with pytest.raises(ValueError, match="earlier task"):
+            WorkflowSpec("w", tasks)
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowSpec("w", [])
+
+    def test_categories_in_first_appearance_order(self):
+        tasks = [
+            TaskSpec(0, "b", consumption(), 1.0),
+            TaskSpec(1, "a", consumption(), 1.0),
+            TaskSpec(2, "b", consumption(), 1.0),
+        ]
+        wf = WorkflowSpec("w", tasks)
+        assert wf.categories() == ("b", "a")
+        assert len(wf.tasks_of("b")) == 2
+
+    def test_max_consumption(self):
+        tasks = [
+            TaskSpec(0, "a", ResourceVector.of(cores=2, memory=100, disk=1), 1.0),
+            TaskSpec(1, "a", ResourceVector.of(cores=1, memory=900, disk=1), 1.0),
+        ]
+        wf = WorkflowSpec("w", tasks)
+        peak = wf.max_consumption()
+        assert peak[CORES] == 2 and peak[MEMORY] == 900
+
+    def test_total_consumption(self):
+        tasks = [
+            TaskSpec(0, "a", consumption(memory=100), 10.0),
+            TaskSpec(1, "a", consumption(memory=200), 5.0),
+        ]
+        wf = WorkflowSpec("w", tasks)
+        assert wf.total_consumption(MEMORY) == pytest.approx(100 * 10 + 200 * 5)
+
+    def test_validate_fits(self):
+        wf = WorkflowSpec("w", [TaskSpec(0, "a", consumption(memory=900), 1.0)])
+        wf.validate_fits(ResourceVector.of(cores=4, memory=1000, disk=1000))
+        with pytest.raises(ValueError, match="memory"):
+            wf.validate_fits(ResourceVector.of(cores=4, memory=800, disk=1000))
+
+    def test_container_protocol(self):
+        wf = WorkflowSpec("w", [TaskSpec(0, "a", consumption(), 1.0)])
+        assert len(wf) == 1
+        assert wf[0].task_id == 0
+        assert [t.category for t in wf] == ["a"]

@@ -1,0 +1,109 @@
+"""Tests for the five synthetic workflow generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import CORES, DISK, MEMORY, PAPER_WORKER_CAPACITY
+from repro.workflows.synthetic import (
+    SYNTHETIC_WORKFLOWS,
+    bimodal_workflow,
+    exponential_workflow,
+    make_synthetic_workflow,
+    normal_workflow,
+    trimodal_workflow,
+    uniform_workflow,
+)
+
+
+def memory_of(wf):
+    return np.array([t.consumption[MEMORY] for t in wf])
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", SYNTHETIC_WORKFLOWS)
+    def test_default_size_and_single_category(self, name):
+        wf = make_synthetic_workflow(name, n_tasks=200, seed=0)
+        assert len(wf) == 200
+        assert len(wf.categories()) == 1  # paper: one category, worst case
+
+    @pytest.mark.parametrize("name", SYNTHETIC_WORKFLOWS)
+    def test_deterministic_given_seed(self, name):
+        a = make_synthetic_workflow(name, n_tasks=50, seed=7)
+        b = make_synthetic_workflow(name, n_tasks=50, seed=7)
+        assert all(
+            x.consumption == y.consumption and x.duration == y.duration
+            for x, y in zip(a, b)
+        )
+
+    @pytest.mark.parametrize("name", SYNTHETIC_WORKFLOWS)
+    def test_seed_changes_stream(self, name):
+        a = make_synthetic_workflow(name, n_tasks=50, seed=1)
+        b = make_synthetic_workflow(name, n_tasks=50, seed=2)
+        assert any(x.consumption != y.consumption for x, y in zip(a, b))
+
+    @pytest.mark.parametrize("name", SYNTHETIC_WORKFLOWS)
+    def test_every_task_fits_paper_worker(self, name):
+        wf = make_synthetic_workflow(name, n_tasks=500, seed=3)
+        wf.validate_fits(PAPER_WORKER_CAPACITY)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_synthetic_workflow("gaussian")
+
+    def test_invalid_n_tasks(self):
+        with pytest.raises(ValueError):
+            make_synthetic_workflow("normal", n_tasks=0)
+
+
+class TestDistributionShapes:
+    def test_normal_centred_at_8gb(self):
+        memory = memory_of(normal_workflow(n_tasks=2000, seed=0))
+        assert 7500 < memory.mean() < 8500
+        assert 1500 < memory.std() < 2500
+
+    def test_uniform_bounds(self):
+        memory = memory_of(uniform_workflow(n_tasks=2000, seed=0))
+        assert memory.min() >= 2000 and memory.max() <= 14000
+        # Roughly flat: quartiles evenly spaced.
+        q1, q3 = np.percentile(memory, [25, 75])
+        assert 4500 < q1 < 5500 and 10500 < q3 < 11500
+
+    def test_exponential_heavy_tail(self):
+        memory = memory_of(exponential_workflow(n_tasks=2000, seed=0))
+        # Mean well above median = right skew.
+        assert memory.mean() > np.median(memory) * 1.3
+        assert memory.max() > 5 * np.median(memory)
+
+    def test_bimodal_two_clusters(self):
+        memory = memory_of(bimodal_workflow(n_tasks=2000, seed=0))
+        low = memory[memory < 8000]
+        high = memory[memory >= 8000]
+        assert 0.4 < len(low) / len(memory) < 0.6
+        assert 3500 < low.mean() < 4500
+        assert 11000 < high.mean() < 13000
+
+    def test_trimodal_phases_move_and_descend(self):
+        wf = trimodal_workflow(n_tasks=900, seed=0)
+        memory = memory_of(wf)
+        p1, p2, p3 = memory[:300].mean(), memory[300:600].mean(), memory[600:].mean()
+        # (mid, high, low): non-monotone by design.
+        assert p2 > p1 > p3
+        assert abs(p1 - 8000) < 500
+        assert abs(p2 - 13000) < 500
+        assert abs(p3 - 3000) < 500
+
+    def test_disk_same_family_as_memory(self):
+        wf = normal_workflow(n_tasks=2000, seed=0)
+        disk = np.array([t.consumption[DISK] for t in wf])
+        assert 7500 < disk.mean() < 8500
+
+    def test_cores_scaled_down(self):
+        wf = normal_workflow(n_tasks=2000, seed=0)
+        cores = np.array([t.consumption[CORES] for t in wf])
+        assert 3.5 < cores.mean() < 4.5
+        assert cores.max() <= 16
+
+    def test_durations_positive_and_bounded(self):
+        wf = normal_workflow(n_tasks=500, seed=0)
+        durations = np.array([t.duration for t in wf])
+        assert (durations >= 5.0).all() and (durations <= 600.0).all()

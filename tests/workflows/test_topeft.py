@@ -1,0 +1,79 @@
+"""Tests for the TopEFT-shaped trace generator (Figure 2 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import CORES, DISK, MEMORY, PAPER_WORKER_CAPACITY
+from repro.workflows.topeft import (
+    N_ACCUMULATING,
+    N_PREPROCESSING,
+    N_PROCESSING,
+    TOPEFT_DISK_MB,
+    make_topeft_workflow,
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return make_topeft_workflow(seed=0)
+
+
+class TestStructure:
+    def test_paper_task_counts(self, workflow):
+        assert len(workflow.tasks_of("preprocessing")) == N_PREPROCESSING == 363
+        assert len(workflow.tasks_of("processing")) == N_PROCESSING == 3994
+        assert len(workflow.tasks_of("accumulating")) == N_ACCUMULATING == 212
+        assert len(workflow) == 4569
+
+    def test_preprocessing_first(self, workflow):
+        categories = [t.category for t in workflow]
+        last_pre = max(i for i, c in enumerate(categories) if c == "preprocessing")
+        assert last_pre == N_PREPROCESSING - 1
+
+    def test_accumulating_interleaved_with_processing(self, workflow):
+        """Accumulating tasks appear throughout the processing stream,
+        not as a trailing block (Coffea merges as results arrive)."""
+        categories = [t.category for t in workflow]
+        acc_positions = [i for i, c in enumerate(categories) if c == "accumulating"]
+        n = len(categories)
+        assert min(acc_positions) < n * 0.3
+        assert max(acc_positions) > n * 0.8
+
+    def test_deterministic(self):
+        a = make_topeft_workflow(seed=4)
+        b = make_topeft_workflow(seed=4)
+        assert all(x.consumption == y.consumption for x, y in zip(a, b))
+
+    def test_fits_paper_worker(self, workflow):
+        workflow.validate_fits(PAPER_WORKER_CAPACITY)
+
+
+class TestFigure2Marginals:
+    def test_disk_constant_306(self, workflow):
+        """Section V-C: every TopEFT task consumes exactly 306 MB disk."""
+        assert all(t.consumption[DISK] == TOPEFT_DISK_MB == 306.0 for t in workflow)
+
+    def test_pre_and_accumulating_memory_indistinguishable(self, workflow):
+        """~180 MB for both despite different roles — the case against
+        assuming cross-category correlation (Section III-B)."""
+        pre = np.mean([t.consumption[MEMORY] for t in workflow.tasks_of("preprocessing")])
+        acc = np.mean([t.consumption[MEMORY] for t in workflow.tasks_of("accumulating")])
+        assert abs(pre - 180) < 15 and abs(acc - 180) < 15
+
+    def test_processing_memory_two_clusters(self, workflow):
+        memory = np.array([t.consumption[MEMORY] for t in workflow.tasks_of("processing")])
+        low = memory[memory < 510]
+        high = memory[memory >= 510]
+        assert abs(low.mean() - 450) < 25
+        assert abs(high.mean() - 580) < 25
+        assert 0.5 < len(high) / len(memory) < 0.7
+
+    def test_cores_mostly_below_one_with_outliers(self, workflow):
+        cores = np.array([t.consumption[CORES] for t in workflow])
+        assert np.mean(cores <= 1.0) > 0.9
+        assert cores.max() > 1.5          # outliers exist
+        assert cores.max() <= 3.0         # up to three cores (Figure 2)
+
+    def test_outlier_fraction_small(self, workflow):
+        cores = np.array([t.consumption[CORES] for t in workflow])
+        assert 0.01 < np.mean(cores > 1.2) < 0.10

@@ -1,0 +1,158 @@
+"""Tests for workflow trace serialization."""
+
+import json
+
+import pytest
+
+from repro.core.resources import CORES, MEMORY, ResourceVector
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+from repro.workflows.synthetic import make_synthetic_workflow
+from repro.workflows.traceio import (
+    SCHEMA_VERSION,
+    export_attempts_csv,
+    load_workflow,
+    save_workflow,
+    workflow_from_dict,
+    workflow_from_records,
+    workflow_to_dict,
+)
+
+
+def small_workflow():
+    return WorkflowSpec(
+        "small",
+        [
+            TaskSpec(0, "a", ResourceVector.of(cores=1, memory=100, disk=10), 30.0),
+            TaskSpec(1, "b", ResourceVector.of(cores=2, memory=900, disk=20), 60.0,
+                     dependencies=(0,)),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = small_workflow()
+        restored = workflow_from_dict(workflow_to_dict(original))
+        assert restored.name == original.name
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.consumption == b.consumption
+            assert a.duration == b.duration
+            assert a.dependencies == b.dependencies
+            assert a.category == b.category
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_synthetic_workflow("bimodal", n_tasks=50, seed=9)
+        path = tmp_path / "trace.json"
+        save_workflow(original, path)
+        restored = load_workflow(path)
+        assert len(restored) == 50
+        assert all(
+            a.consumption == b.consumption for a, b in zip(original, restored)
+        )
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workflow(small_workflow(), path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["tasks"][0]["consumption"]["memory"] == 100.0
+
+    def test_unknown_schema_rejected(self):
+        data = workflow_to_dict(small_workflow())
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            workflow_from_dict(data)
+
+    def test_missing_name_rejected(self):
+        data = workflow_to_dict(small_workflow())
+        del data["name"]
+        with pytest.raises(ValueError, match="name"):
+            workflow_from_dict(data)
+
+
+class TestFromRecords:
+    def test_basic_build(self):
+        wf = workflow_from_records(
+            "mine",
+            [
+                {"category": "fit", "duration": 120.0, "cores": 1, "memory": 900},
+                {"category": "fit", "duration": 90.0, "cores": 1, "memory": 840,
+                 "dependencies": [0]},
+            ],
+        )
+        assert len(wf) == 2
+        assert wf[1].dependencies == (0,)
+        assert wf[0].consumption[MEMORY] == 900
+
+    def test_custom_keys(self):
+        wf = workflow_from_records(
+            "mine",
+            [{"kind": "x", "secs": 10.0, "cores": 2}],
+            category_key="kind",
+            duration_key="secs",
+        )
+        assert wf[0].category == "x"
+        assert wf[0].duration == 10.0
+        assert wf[0].consumption[CORES] == 2
+
+    def test_missing_required_key(self):
+        with pytest.raises(ValueError, match="missing"):
+            workflow_from_records("m", [{"category": "x"}])
+
+    def test_unregistered_resource_rejected(self):
+        with pytest.raises(KeyError):
+            workflow_from_records(
+                "m", [{"category": "x", "duration": 1.0, "quantum_flux": 3}]
+            )
+
+    def test_runs_in_simulator(self):
+        from repro.core.allocator import AllocatorConfig
+        from repro.sim.manager import SimulationConfig, WorkflowManager
+        from repro.sim.pool import PoolConfig
+
+        wf = workflow_from_records(
+            "mine",
+            [
+                {"category": "fit", "duration": 20.0, "cores": 1, "memory": 500, "disk": 50}
+                for _ in range(10)
+            ],
+        )
+        manager = WorkflowManager(
+            wf,
+            SimulationConfig(
+                allocator=AllocatorConfig(algorithm="max_seen", seed=0),
+                pool=PoolConfig(
+                    n_workers=2,
+                    capacity=ResourceVector.of(cores=4, memory=4000, disk=4000),
+                ),
+            ),
+        )
+        assert manager.run().ledger.n_tasks == 10
+
+
+class TestAttemptExport:
+    def test_csv_round_shape(self, tmp_path):
+        from repro.core.allocator import AllocatorConfig
+        from repro.core.resources import DISK
+        from repro.sim.manager import SimulationConfig, WorkflowManager
+        from repro.sim.pool import PoolConfig
+
+        wf = make_synthetic_workflow("normal", n_tasks=20, seed=1)
+        manager = WorkflowManager(
+            wf,
+            SimulationConfig(
+                allocator=AllocatorConfig(algorithm="exhaustive_bucketing", seed=0),
+                pool=PoolConfig(n_workers=2),
+            ),
+        )
+        result = manager.run()
+        path = tmp_path / "attempts.csv"
+        text = export_attempts_csv(
+            manager._tasks.values(), resources=(CORES, MEMORY, DISK), path=path
+        )
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("task_id,category,attempt,outcome")
+        # One row per attempt plus the header.
+        assert len(lines) == result.n_attempts + 1
+        assert path.read_text() == text

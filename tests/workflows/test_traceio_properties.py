@@ -1,0 +1,62 @@
+"""Property-based round-trip tests for trace serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resources import ResourceVector
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+from repro.workflows.traceio import workflow_from_dict, workflow_to_dict
+
+task_tuples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=64.0, allow_nan=False),       # cores
+        st.floats(min_value=1.0, max_value=64000.0, allow_nan=False),    # memory
+        st.floats(min_value=0.0, max_value=64000.0, allow_nan=False),    # disk
+        st.floats(min_value=0.001, max_value=86400.0, allow_nan=False),  # duration
+        st.text(alphabet="abcdefg_", min_size=1, max_size=8),            # category
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build(raw, rnd_deps):
+    tasks = []
+    for i, (c, m, d, t, cat) in enumerate(raw):
+        deps = tuple(sorted({int(x) % i for x in rnd_deps[:2]})) if i and rnd_deps else ()
+        tasks.append(
+            TaskSpec(
+                task_id=i,
+                category=cat,
+                consumption=ResourceVector.of(cores=c, memory=m, disk=d),
+                duration=t,
+                dependencies=deps,
+            )
+        )
+    return WorkflowSpec("prop", tasks)
+
+
+@settings(max_examples=50)
+@given(task_tuples, st.lists(st.integers(min_value=0, max_value=100), max_size=3))
+def test_round_trip_preserves_everything(raw, rnd_deps):
+    original = build(raw, rnd_deps)
+    restored = workflow_from_dict(workflow_to_dict(original))
+    assert restored.name == original.name
+    assert len(restored) == len(original)
+    for a, b in zip(original, restored):
+        assert a.task_id == b.task_id
+        assert a.category == b.category
+        assert a.duration == b.duration
+        assert a.dependencies == b.dependencies
+        assert a.consumption == b.consumption
+
+
+@settings(max_examples=30)
+@given(task_tuples)
+def test_serialized_form_is_json_compatible(raw):
+    import json
+
+    original = build(raw, [])
+    text = json.dumps(workflow_to_dict(original))
+    restored = workflow_from_dict(json.loads(text))
+    assert len(restored) == len(original)
