@@ -1,0 +1,185 @@
+"""Core allocation-loop microbenchmarks -> BENCH_core.json.
+
+Three benchmark families, matching the hot paths named in
+docs/PERFORMANCE.md:
+
+* **record ingest** — the simulator's update->predict alternation: one
+  ``RecordList.add`` followed by touching the values / prefix-sum views,
+  at 1k / 5k / 20k records.  Measured for the array-backed
+  implementation and (at 1k / 5k) for the seed's Python-object-backed
+  :class:`~repro.core.records_legacy.LegacyRecordList`, whose per-task
+  full view rebuild is the baseline the fast path is scored against.
+* **allocation latency** — time to compute a fresh bucketing state plus
+  one allocation for Greedy and Exhaustive Bucketing, reproducing the
+  record-count axis of the paper's Table I.
+* **grid wall time** — a small (workflow x algorithm) sweep through
+  ``run_grid``, serial, end to end.
+
+Results are written as a flat JSON document (``BENCH_core.json`` at the
+repo root by default) so ``scripts/bench_compare.py`` can diff two runs
+and flag regressions.  Run with ``--quick`` in CI for a seconds-scale
+smoke pass.
+
+Usage::
+
+    python benchmarks/perf/bench_core.py [--quick] [--out PATH] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.core.records import RecordList  # noqa: E402
+from repro.core.records_legacy import LegacyRecordList  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.runner import run_grid  # noqa: E402
+from repro.experiments.table1 import _make_records, time_algorithm  # noqa: E402
+
+#: Bump when metric names or semantics change incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _ingest_values(n: int, seed: int = 0) -> np.ndarray:
+    """The paper's running example: N(8 GB, 2 GB) peak memory records."""
+    rng = np.random.default_rng(seed)
+    return np.clip(rng.normal(8000.0, 2000.0, n), 50.0, None)
+
+
+def bench_record_ingest(record_list_cls: Callable, n: int, repeats: int) -> float:
+    """Seconds to ingest ``n`` records in update->predict alternation.
+
+    After every ``add`` the three views the cost kernels read
+    (``values``, ``sig_prefix``, ``sigval_prefix``) are touched, which is
+    what every completed task costs in the simulator: the legacy
+    implementation rebuilds all of them from Python objects, the
+    array-backed one shifts a suffix and snapshots buffers.
+    """
+    values = _ingest_values(n)
+    best = float("inf")
+    for _ in range(repeats):
+        records = record_list_cls()
+        start = time.perf_counter()
+        for task_id, value in enumerate(values):
+            records.add(
+                float(value), significance=float(task_id + 1), task_id=task_id
+            )
+            _ = records.values
+            _ = records.sig_prefix
+            _ = records.sigval_prefix
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_allocation_latency(
+    algorithm: str, n: int, repeats: int, seed: int = 0
+) -> float:
+    """Seconds for one bucketing-state computation + allocation at ``n`` records."""
+    records = _make_records(n, seed=seed)
+    return time_algorithm(algorithm, records, repeats=repeats, seed=seed)
+
+
+def bench_grid(n_tasks: int, jobs: int = 1) -> float:
+    """Wall seconds for a small end-to-end (workflow x algorithm) sweep."""
+    config = ExperimentConfig(n_tasks=n_tasks, n_workers=8)
+    start = time.perf_counter()
+    run_grid(
+        workflows=("uniform", "bimodal"),
+        algorithms=("max_seen", "greedy_bucketing", "exhaustive_bucketing"),
+        config=config,
+        jobs=jobs,
+    )
+    return time.perf_counter() - start
+
+
+def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, object]:
+    """Execute every benchmark; return the BENCH_core.json document."""
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+    ingest_sizes = [1000, 5000] if quick else [1000, 5000, 20000]
+    # The 5000-record legacy baseline is the acceptance anchor (>=5x);
+    # it costs ~1.5 s, cheap enough to keep even in --quick mode.
+    legacy_sizes = [1000, 5000]
+    latency_sizes = [200, 1000] if quick else [1000, 5000]
+    grid_tasks = 60 if quick else 150
+
+    metrics: Dict[str, float] = {}
+
+    for n in ingest_sizes:
+        metrics[f"record_ingest_new_n{n}_s"] = bench_record_ingest(
+            RecordList, n, repeats
+        )
+    for n in legacy_sizes:
+        metrics[f"record_ingest_legacy_n{n}_s"] = bench_record_ingest(
+            LegacyRecordList, n, repeats
+        )
+        new = metrics[f"record_ingest_new_n{n}_s"]
+        metrics[f"record_ingest_speedup_n{n}_x"] = (
+            metrics[f"record_ingest_legacy_n{n}_s"] / new if new > 0 else float("inf")
+        )
+
+    for algorithm in ("greedy_bucketing", "exhaustive_bucketing"):
+        for n in latency_sizes:
+            metrics[f"allocation_latency_{algorithm}_n{n}_s"] = bench_allocation_latency(
+                algorithm, n, repeats
+            )
+
+    metrics["grid_serial_s"] = bench_grid(grid_tasks, jobs=1)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "metrics": metrics,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_core.json"),
+        help="output JSON path (default: BENCH_core.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale smoke pass (CI): smaller sizes, one repeat",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_suite(quick=args.quick, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    width = max(len(k) for k in doc["metrics"])
+    for key in sorted(doc["metrics"]):
+        value = doc["metrics"][key]
+        unit = "x" if key.endswith("_x") else "s"
+        print(f"{key:<{width}}  {value:12.6f} {unit}")
+    print(f"\nwrote {args.out}")
+
+    speedup_keys = [k for k in doc["metrics"] if k.startswith("record_ingest_speedup")]
+    worst = min(doc["metrics"][k] for k in speedup_keys)
+    print(f"worst ingest speedup vs seed implementation: {worst:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Compare two BENCH_core.json files and fail on regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Every timing metric (``*_s``, lower is better) present in both files is
+compared; a metric is a regression when the current value exceeds the
+baseline by more than the threshold (default 20%).  Speedup metrics
+(``*_x``, higher is better) regress when they *drop* by more than the
+threshold.  Metrics present in only one file are reported but never
+fatal, so the suite can grow without breaking old baselines.
+
+Exit status: 0 when no metric regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def load_metrics(path: str) -> Dict[str, float]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: no 'metrics' object (not a BENCH_core.json?)")
+    return {k: float(v) for k, v in metrics.items()}
+
+
+def compare(
+    baseline: Dict[str, float], current: Dict[str, float], threshold: float
+) -> List[str]:
+    """Return one line per regressed metric (empty list = all clear)."""
+    regressions: List[str] = []
+    for key in sorted(set(baseline) & set(current)):
+        old, new = baseline[key], current[key]
+        if key.endswith("_x"):
+            # Speedup factor: higher is better.
+            if old > 0 and new < old * (1.0 - threshold):
+                regressions.append(
+                    f"{key}: {old:.3f}x -> {new:.3f}x "
+                    f"({(old - new) / old:+.0%} slower-than-baseline speedup)"
+                )
+        else:
+            # Timing: lower is better.
+            if old > 0 and new > old * (1.0 + threshold):
+                regressions.append(
+                    f"{key}: {old:.6f}s -> {new:.6f}s ({(new - old) / old:+.0%})"
+                )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_core.json")
+    parser.add_argument("current", help="current BENCH_core.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative regression tolerance (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    only_old = sorted(set(baseline) - set(current))
+    only_new = sorted(set(current) - set(baseline))
+    for key in only_old:
+        print(f"note: metric {key} only in baseline")
+    for key in only_new:
+        print(f"note: metric {key} only in current")
+
+    regressions = compare(baseline, current, args.threshold)
+    for key in shared:
+        old, new = baseline[key], current[key]
+        delta = (new - old) / old if old else float("inf")
+        print(f"{key}: {old:.6f} -> {new:.6f} ({delta:+.1%})")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed "
+            f"beyond {args.threshold:.0%}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nOK: no metric regressed beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ramp-up", type=float, default=600.0, help="pool ramp-up window (seconds)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid experiments (figure5/figure6); "
+        "results are identical to the serial run",
+    )
     parser.add_argument("--verbose", action="store_true", help="print per-cell progress")
     return parser
 
@@ -86,9 +93,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif target == "figure4":
             print(figure4.render(figure4.run(n_tasks=args.tasks, seed=args.seed)))
         elif target == "figure5":
-            print(figure5.render(figure5.run(config=config, verbose=args.verbose)))
+            print(
+                figure5.render(
+                    figure5.run(config=config, verbose=args.verbose, jobs=args.jobs)
+                )
+            )
         elif target == "figure6":
-            print(figure6.render(figure6.run(config=config, verbose=args.verbose)))
+            print(
+                figure6.render(
+                    figure6.run(config=config, verbose=args.verbose, jobs=args.jobs)
+                )
+            )
         elif target == "table1":
             print(table1.render(table1.run()))
         elif target == "scaling":

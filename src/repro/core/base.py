@@ -83,11 +83,11 @@ class AllocationAlgorithm(abc.ABC):
 
         ``observed_peak`` is the consumption observed before the kill
         (a lower bound on the task's true demand).  The default asks
-        :meth:`predict` and keeps doubling the previous allocation on top
-        of it until the answer actually exceeds both the previous
-        allocation and the observed peak; subclasses with retry structure
-        (the bucketing algorithms) override this.  Returning ``None``
-        delegates to the allocator's doubling fallback.
+        :meth:`predict` and returns that prediction only when it exceeds
+        both the previous allocation and the observed peak; otherwise it
+        returns ``None``, which delegates to the allocator's doubling
+        fallback (Section IV-A).  Subclasses with retry structure (the
+        bucketing algorithms) override this.
         """
         prediction = self.predict()
         if prediction is None:
@@ -121,6 +121,15 @@ class BucketingAlgorithm(AllocationAlgorithm):
     shared prediction rules of Section IV-A on top of
     :class:`~repro.core.buckets.BucketState`.
 
+    ``rebucket_interval`` bounds how often the (expensive) partition
+    search actually runs: the break indices are recomputed from scratch
+    only every k-th new record; in between, the cached partition is
+    *re-anchored* onto the grown record list — each cached bucket
+    boundary value is mapped back to the last record at or below it with
+    one ``searchsorted``, and the bucket statistics are refreshed from
+    the prefix sums (O(buckets), not O(records)).  The default k=1
+    recomputes on every record, which is the paper-exact behaviour.
+
     Subclasses implement :meth:`compute_break_indices`, returning the
     sorted inclusive upper-end record indices of each bucket.
     """
@@ -132,12 +141,21 @@ class BucketingAlgorithm(AllocationAlgorithm):
         self,
         rng: Optional[np.random.Generator] = None,
         record_capacity: Optional[int] = None,
+        rebucket_interval: int = 1,
     ) -> None:
         super().__init__(rng=rng)
+        if rebucket_interval < 1:
+            raise ValueError(
+                f"rebucket_interval must be >= 1, got {rebucket_interval}"
+            )
         self._records = RecordList(capacity=record_capacity)
+        self._rebucket_interval = rebucket_interval
         self._state: Optional[BucketState] = None
         self._dirty = True
         self._recomputations = 0
+        self._reanchors = 0
+        self._updates_since_recompute = 0
+        self._cached_break_values: Optional[np.ndarray] = None
 
     # -- subclass hook ---------------------------------------------------------
 
@@ -150,6 +168,7 @@ class BucketingAlgorithm(AllocationAlgorithm):
     def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
         self._records.add(value=value, significance=significance, task_id=task_id)
         self._dirty = True
+        self._updates_since_recompute += 1
 
     def predict(self) -> Optional[float]:
         state = self.state
@@ -170,15 +189,58 @@ class BucketingAlgorithm(AllocationAlgorithm):
 
     @property
     def state(self) -> Optional[BucketState]:
-        """Current bucket state, recomputed on demand; None if no records."""
+        """Current bucket state, recomputed on demand; None if no records.
+
+        With the default ``rebucket_interval=1`` every new record forces
+        a full partition search (paper-exact).  With a larger interval,
+        intermediate states re-anchor the cached break values onto the
+        grown record list, deferring the search until the k-th record.
+        """
         if not self._records:
             return None
         if self._dirty or self._state is None:
-            breaks = self.compute_break_indices(self._records)
+            if (
+                self._state is None
+                or self._cached_break_values is None
+                or self._updates_since_recompute >= self._rebucket_interval
+            ):
+                breaks = self.compute_break_indices(self._records)
+                self._recomputations += 1
+                self._updates_since_recompute = 0
+            else:
+                breaks = self._reanchor_break_indices()
+                self._reanchors += 1
             self._state = BucketState(self._records, breaks)
+            self._cached_break_values = self._records.values[
+                np.asarray(breaks, dtype=np.intp)
+            ]
             self._dirty = False
-            self._recomputations += 1
         return self._state
+
+    def _reanchor_break_indices(self) -> list:
+        """Map the cached bucket boundary values onto the current records.
+
+        Each cached boundary was the maximum value of its bucket; after
+        new insertions (or window evictions) the index of the last record
+        at or below that value is found with one vectorized
+        ``searchsorted``.  Degenerate boundaries (below every record, or
+        collapsing onto the same record) drop out; the last record always
+        terminates the partition.
+        """
+        assert self._cached_break_values is not None
+        values = self._records.values
+        n = len(self._records)
+        idx = np.searchsorted(values, self._cached_break_values, side="right") - 1
+        idx = idx[idx >= 0]
+        breaks: list = []
+        for i in idx:
+            i = int(i)
+            if i >= n - 1:
+                break
+            if not breaks or i > breaks[-1]:
+                breaks.append(i)
+        breaks.append(n - 1)
+        return breaks
 
     @property
     def records(self) -> RecordList:
@@ -190,14 +252,26 @@ class BucketingAlgorithm(AllocationAlgorithm):
 
     @property
     def recomputations(self) -> int:
-        """How many times the bucket state was actually rebuilt."""
+        """How many times the full partition search actually ran."""
         return self._recomputations
+
+    @property
+    def reanchors(self) -> int:
+        """How many states were built by re-anchoring the cached partition."""
+        return self._reanchors
+
+    @property
+    def rebucket_interval(self) -> int:
+        return self._rebucket_interval
 
     def reset(self) -> None:
         self._records = RecordList(capacity=self._records.capacity)
         self._state = None
         self._dirty = True
         self._recomputations = 0
+        self._reanchors = 0
+        self._updates_since_recompute = 0
+        self._cached_break_values = None
 
 
 # ---------------------------------------------------------------------------

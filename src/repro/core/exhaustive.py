@@ -61,15 +61,22 @@ def evenly_spaced_break_indices(records: RecordList, k: int) -> List[int]:
     last = n - 1
     if k == 1:
         return [last]
-    v_max = float(records.values[last])
-    ends: List[int] = []
-    for i in range(1, k):
-        candidate_value = v_max * i / k
-        idx = records.index_below(candidate_value)
-        if idx is None or idx >= last:
-            continue
-        if not ends or idx > ends[-1]:
-            ends.append(idx)
+    values = records.values
+    v_max = float(values[last])
+    # All k-1 candidate values in one searchsorted: index_below(v) is
+    # searchsorted(values, v, side="left") - 1, and because the
+    # candidates ascend, the mapped indices are non-decreasing — keeping
+    # the strictly increasing ones reproduces the one-at-a-time loop.
+    candidates = v_max * np.arange(1, k, dtype=np.float64) / k
+    idx = np.searchsorted(values, candidates, side="left") - 1
+    idx = idx[(idx >= 0) & (idx < last)]
+    if idx.size:
+        keep = np.empty(idx.size, dtype=bool)
+        keep[0] = True
+        np.greater(idx[1:], idx[:-1], out=keep[1:])
+        ends = idx[keep].tolist()
+    else:
+        ends = []
     ends.append(last)
     return ends
 
@@ -118,6 +125,11 @@ class ExhaustiveBucketing(BucketingAlgorithm):
         Optional sliding-window bound on retained records.
     max_buckets:
         Upper bound on the candidate bucket counts; the paper uses 10.
+    rebucket_interval:
+        Run the full configuration search only every k-th new record,
+        re-anchoring the cached partition in between (see
+        :class:`~repro.core.base.BucketingAlgorithm`).  The default 1 is
+        paper-exact.
 
     Examples
     --------
@@ -137,8 +149,13 @@ class ExhaustiveBucketing(BucketingAlgorithm):
         rng: Optional[np.random.Generator] = None,
         record_capacity: Optional[int] = None,
         max_buckets: int = PAPER_MAX_BUCKETS,
+        rebucket_interval: int = 1,
     ) -> None:
-        super().__init__(rng=rng, record_capacity=record_capacity)
+        super().__init__(
+            rng=rng,
+            record_capacity=record_capacity,
+            rebucket_interval=rebucket_interval,
+        )
         if max_buckets < 1:
             raise ValueError(f"max_buckets must be >= 1, got {max_buckets}")
         self._max_buckets = max_buckets

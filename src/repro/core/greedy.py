@@ -166,6 +166,11 @@ class GreedyBucketing(BucketingAlgorithm):
     max_buckets:
         Optional cap on the number of buckets (ablation hook; unset in
         the paper's configuration).
+    rebucket_interval:
+        Run the full partition search only every k-th new record,
+        re-anchoring the cached partition in between (see
+        :class:`~repro.core.base.BucketingAlgorithm`).  The default 1 is
+        paper-exact.
 
     Examples
     --------
@@ -185,8 +190,13 @@ class GreedyBucketing(BucketingAlgorithm):
         rng: Optional[np.random.Generator] = None,
         record_capacity: Optional[int] = None,
         max_buckets: Optional[int] = None,
+        rebucket_interval: int = 1,
     ) -> None:
-        super().__init__(rng=rng, record_capacity=record_capacity)
+        super().__init__(
+            rng=rng,
+            record_capacity=record_capacity,
+            rebucket_interval=rebucket_interval,
+        )
         self._max_buckets = max_buckets
 
     def compute_break_indices(self, records: RecordList) -> List[int]:

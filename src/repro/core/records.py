@@ -13,15 +13,27 @@ and lets callers override it.
 views (values, significances, and their prefix sums) that the cost
 kernels in :mod:`repro.core.cost` need for O(1) per-candidate expected
 waste evaluation.
+
+Storage is *array-backed*: three preallocated, amortized-doubling numpy
+buffers (values, significances, task ids) plus two prefix-sum buffers
+maintained **incrementally** — an insertion shifts only the suffix at or
+after the insertion point and adds the new record's contribution to the
+shifted prefix entries, so the simulator's update→predict alternation
+costs one vectorized suffix shift instead of the full Python-object walk
+the seed implementation paid per completed task (kept as
+:class:`repro.core.records_legacy.LegacyRecordList` for the equivalence
+tests and the perf baseline in ``benchmarks/perf/``).
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
+
+#: Initial buffer capacity; buffers double whenever they fill.
+_MIN_BUFFER = 32
 
 
 @dataclass(frozen=True, order=True)
@@ -59,11 +71,15 @@ class ResourceRecord:
 class RecordList:
     """A list of :class:`ResourceRecord` kept sorted by value.
 
-    Appends are O(log n) search + O(n) insert (a python list ``insort``),
-    which is far below the cost of recomputing a bucketing state and has
-    never shown up in profiles; the numpy views are rebuilt lazily and
-    cached until the next mutation, so a burst of completions followed by
-    one allocation request costs one rebuild (the update batching the
+    Records live in preallocated numpy buffers; an append finds its slot
+    with ``np.searchsorted`` (value first, significance as the
+    tie-breaker, insertion after equal keys — exactly the order the seed
+    implementation's ``bisect.insort`` produced) and shifts only the
+    suffix.  The significance prefix sums are maintained incrementally
+    alongside, so the views below never require a full rebuild; they are
+    materialized as read-only snapshot arrays once per mutation and
+    cached until the next mutation (a burst of completions followed by
+    one allocation request costs one snapshot — the update batching the
     paper describes in Section V-C).
 
     A ``capacity`` bound turns the list into a sliding window over the
@@ -72,7 +88,19 @@ class RecordList:
     bound exists for the >10k-task scaling study (E-X1 in DESIGN.md).
     """
 
-    __slots__ = ("_records", "_capacity", "_values", "_sigs", "_sig_prefix", "_sigval_prefix")
+    __slots__ = (
+        "_capacity",
+        "_n",
+        "_values_buf",
+        "_sigs_buf",
+        "_tids_buf",
+        "_sp_buf",
+        "_svp_buf",
+        "_values",
+        "_sigs",
+        "_sig_prefix",
+        "_sigval_prefix",
+    )
 
     def __init__(
         self,
@@ -82,8 +110,27 @@ class RecordList:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._records: List[ResourceRecord] = sorted(records)
-        if capacity is not None and len(self._records) > capacity:
+        items = list(records)
+        n = len(items)
+        size = max(_MIN_BUFFER, n)
+        self._values_buf = np.empty(size, dtype=np.float64)
+        self._sigs_buf = np.empty(size, dtype=np.float64)
+        self._tids_buf = np.empty(size, dtype=np.int64)
+        self._sp_buf = np.empty(size, dtype=np.float64)
+        self._svp_buf = np.empty(size, dtype=np.float64)
+        self._n = n
+        if n:
+            values = np.fromiter((r.value for r in items), np.float64, count=n)
+            sigs = np.fromiter((r.significance for r in items), np.float64, count=n)
+            tids = np.fromiter((r.task_id for r in items), np.int64, count=n)
+            # Stable lexicographic sort by (value, significance) matches
+            # sorted() on the dataclass ordering (task_id is compare=False).
+            order = np.lexsort((sigs, values))
+            self._values_buf[:n] = values[order]
+            self._sigs_buf[:n] = sigs[order]
+            self._tids_buf[:n] = tids[order]
+            self._rebuild_prefixes()
+        if capacity is not None and self._n > capacity:
             self._evict_to_capacity()
         self._invalidate()
 
@@ -91,32 +138,109 @@ class RecordList:
 
     def append(self, record: ResourceRecord) -> None:
         """Insert a record, keeping value order; evict if over capacity."""
-        bisect.insort(self._records, record)
-        if self._capacity is not None and len(self._records) > self._capacity:
+        self._insert(record.value, record.significance, record.task_id)
+        if self._capacity is not None and self._n > self._capacity:
             self._evict_to_capacity()
         self._invalidate()
 
     def add(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
-        """Convenience: build and append a record."""
-        self.append(ResourceRecord(value=value, significance=significance, task_id=task_id))
-
-    def extend(self, records: Iterable[ResourceRecord]) -> None:
-        for record in records:
-            bisect.insort(self._records, record)
-        if self._capacity is not None and len(self._records) > self._capacity:
+        """Convenience: validate and append a record (the simulator's hot path)."""
+        if value < 0 or value != value:
+            raise ValueError(f"invalid record value: {value}")
+        if significance <= 0 or significance != significance:
+            raise ValueError(
+                f"record significance must be positive, got {significance}"
+            )
+        self._insert(float(value), float(significance), int(task_id))
+        if self._capacity is not None and self._n > self._capacity:
             self._evict_to_capacity()
         self._invalidate()
 
+    def extend(self, records: Iterable[ResourceRecord]) -> None:
+        for record in records:
+            self._insert(record.value, record.significance, record.task_id)
+        if self._capacity is not None and self._n > self._capacity:
+            self._evict_to_capacity()
+        self._invalidate()
+
+    def _insert(self, value: float, significance: float, task_id: int) -> None:
+        n = self._n
+        if n == self._values_buf.size:
+            self._grow()
+        values = self._values_buf
+        sigs = self._sigs_buf
+        # Position: after every record with a smaller (value, significance)
+        # key and after equal keys — bisect.insort's resting place for the
+        # seed's (value, significance)-ordered dataclass.
+        lo = int(np.searchsorted(values[:n], value, side="left"))
+        hi = int(np.searchsorted(values[:n], value, side="right"))
+        if lo < hi:
+            pos = lo + int(np.searchsorted(sigs[lo:hi], significance, side="right"))
+        else:
+            pos = lo
+        sp = self._sp_buf
+        svp = self._svp_buf
+        tids = self._tids_buf
+        if pos < n:
+            # Overlapping slice assignments are safe: numpy buffers them.
+            values[pos + 1 : n + 1] = values[pos:n]
+            sigs[pos + 1 : n + 1] = sigs[pos:n]
+            tids[pos + 1 : n + 1] = tids[pos:n]
+            sp[pos + 1 : n + 1] = sp[pos:n]
+            svp[pos + 1 : n + 1] = svp[pos:n]
+        values[pos] = value
+        sigs[pos] = significance
+        tids[pos] = task_id
+        sigval = significance * value
+        base_sp = sp[pos - 1] if pos > 0 else 0.0
+        base_svp = svp[pos - 1] if pos > 0 else 0.0
+        sp[pos] = base_sp + significance
+        svp[pos] = base_svp + sigval
+        if pos < n:
+            sp[pos + 1 : n + 1] += significance
+            svp[pos + 1 : n + 1] += sigval
+        self._n = n + 1
+
+    def _grow(self) -> None:
+        new_size = max(_MIN_BUFFER, 2 * self._values_buf.size)
+        for name in ("_values_buf", "_sigs_buf", "_tids_buf", "_sp_buf", "_svp_buf"):
+            old = getattr(self, name)
+            grown = np.empty(new_size, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
     def _evict_to_capacity(self) -> None:
         assert self._capacity is not None
-        excess = len(self._records) - self._capacity
+        n = self._n
+        excess = n - self._capacity
         if excess <= 0:
             return
         # Evict the lowest-significance records: they are the oldest under
-        # the paper's significance = task-ID convention.
-        by_sig = sorted(range(len(self._records)), key=lambda i: self._records[i].significance)
-        drop = set(by_sig[:excess])
-        self._records = [r for i, r in enumerate(self._records) if i not in drop]
+        # the paper's significance = task-ID convention.  Ties break on
+        # the lowest index, matching the seed's stable sort.
+        sigs = self._sigs_buf[:n]
+        if excess == 1:
+            # Single eviction (the steady state of a full window): one
+            # O(n) argmin instead of an O(n log n) sort per append.
+            victim = int(np.argmin(sigs))
+            for name in ("_values_buf", "_sigs_buf", "_tids_buf"):
+                buf = getattr(self, name)
+                buf[victim : n - 1] = buf[victim + 1 : n]
+            self._n = n - 1
+        else:
+            drop = np.sort(np.argsort(sigs, kind="stable")[:excess])
+            keep = np.setdiff1d(np.arange(n), drop, assume_unique=True)
+            m = keep.size
+            for name in ("_values_buf", "_sigs_buf", "_tids_buf"):
+                buf = getattr(self, name)
+                buf[:m] = buf[:n][keep]
+            self._n = m
+        self._rebuild_prefixes()
+
+    def _rebuild_prefixes(self) -> None:
+        n = self._n
+        np.cumsum(self._sigs_buf[:n], out=self._sp_buf[:n])
+        np.cumsum(self._sigs_buf[:n] * self._values_buf[:n], out=self._svp_buf[:n])
 
     def _invalidate(self) -> None:
         self._values = None
@@ -124,48 +248,46 @@ class RecordList:
         self._sig_prefix = None
         self._sigval_prefix = None
 
+    def _snapshot_of(self, buf: np.ndarray) -> np.ndarray:
+        arr = buf[: self._n].copy()
+        arr.flags.writeable = False
+        return arr
+
     # -- views ---------------------------------------------------------------
 
     @property
     def values(self) -> np.ndarray:
         """Sorted record values as a read-only float64 array."""
         if self._values is None:
-            arr = np.fromiter(
-                (r.value for r in self._records), dtype=np.float64, count=len(self._records)
-            )
-            arr.flags.writeable = False
-            self._values = arr
+            self._values = self._snapshot_of(self._values_buf)
         return self._values
 
     @property
     def significances(self) -> np.ndarray:
         """Significances aligned with :attr:`values`."""
         if self._sigs is None:
-            arr = np.fromiter(
-                (r.significance for r in self._records),
-                dtype=np.float64,
-                count=len(self._records),
-            )
-            arr.flags.writeable = False
-            self._sigs = arr
+            self._sigs = self._snapshot_of(self._sigs_buf)
         return self._sigs
+
+    @property
+    def task_ids(self) -> np.ndarray:
+        """Task IDs aligned with :attr:`values` (read-only int64 array)."""
+        arr = self._tids_buf[: self._n].copy()
+        arr.flags.writeable = False
+        return arr
 
     @property
     def sig_prefix(self) -> np.ndarray:
         """``sig_prefix[i]`` = sum of significances of records [0, i]."""
         if self._sig_prefix is None:
-            arr = np.cumsum(self.significances)
-            arr.flags.writeable = False
-            self._sig_prefix = arr
+            self._sig_prefix = self._snapshot_of(self._sp_buf)
         return self._sig_prefix
 
     @property
     def sigval_prefix(self) -> np.ndarray:
         """``sigval_prefix[i]`` = sum of significance*value of records [0, i]."""
         if self._sigval_prefix is None:
-            arr = np.cumsum(self.significances * self.values)
-            arr.flags.writeable = False
-            self._sigval_prefix = arr
+            self._sigval_prefix = self._snapshot_of(self._svp_buf)
         return self._sigval_prefix
 
     # -- range queries ---------------------------------------------------------
@@ -173,8 +295,8 @@ class RecordList:
     def sig_sum(self, lo: int, hi: int) -> float:
         """Total significance of records with indices in [lo, hi]."""
         self._check_range(lo, hi)
-        prefix = self.sig_prefix
-        return float(prefix[hi] - (prefix[lo - 1] if lo > 0 else 0.0))
+        sp = self._sp_buf
+        return float(sp[hi] - (sp[lo - 1] if lo > 0 else 0.0))
 
     def weighted_mean(self, lo: int, hi: int) -> float:
         """Significance-weighted mean value over indices [lo, hi].
@@ -184,7 +306,7 @@ class RecordList:
         IV-B and IV-C).
         """
         self._check_range(lo, hi)
-        sp, svp = self.sig_prefix, self.sigval_prefix
+        sp, svp = self._sp_buf, self._svp_buf
         below_sig = sp[lo - 1] if lo > 0 else 0.0
         below_sigval = svp[lo - 1] if lo > 0 else 0.0
         total_sig = sp[hi] - below_sig
@@ -193,12 +315,12 @@ class RecordList:
     def max_value(self, lo: int, hi: int) -> float:
         """Maximum value over indices [lo, hi] — just ``values[hi]`` since sorted."""
         self._check_range(lo, hi)
-        return float(self.values[hi])
+        return float(self._values_buf[hi])
 
     def _check_range(self, lo: int, hi: int) -> None:
-        if not (0 <= lo <= hi < len(self._records)):
+        if not (0 <= lo <= hi < self._n):
             raise IndexError(
-                f"record range [{lo}, {hi}] out of bounds for {len(self._records)} records"
+                f"record range [{lo}, {hi}] out of bounds for {self._n} records"
             )
 
     def index_below(self, value: float) -> Optional[int]:
@@ -209,29 +331,48 @@ class RecordList:
         mapped "to the closest record that has a lower value than it".
         Returns ``None`` if every record's value is >= ``value``.
         """
-        idx = int(np.searchsorted(self.values, value, side="left")) - 1
+        idx = int(np.searchsorted(self._values_buf[: self._n], value, side="left")) - 1
         return idx if idx >= 0 else None
 
     # -- container protocol ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._n
 
     def __iter__(self) -> Iterator[ResourceRecord]:
-        return iter(self._records)
+        for i in range(self._n):
+            yield ResourceRecord(
+                value=float(self._values_buf[i]),
+                significance=float(self._sigs_buf[i]),
+                task_id=int(self._tids_buf[i]),
+            )
 
-    def __getitem__(self, index: int) -> ResourceRecord:
-        return self._records[index]
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[ResourceRecord, List[ResourceRecord]]:
+        if isinstance(index, slice):
+            return [self._record_at(i) for i in range(*index.indices(self._n))]
+        i = index if index >= 0 else self._n + index
+        if not (0 <= i < self._n):
+            raise IndexError(f"record index {index} out of range for {self._n} records")
+        return self._record_at(i)
+
+    def _record_at(self, i: int) -> ResourceRecord:
+        return ResourceRecord(
+            value=float(self._values_buf[i]),
+            significance=float(self._sigs_buf[i]),
+            task_id=int(self._tids_buf[i]),
+        )
 
     def __bool__(self) -> bool:
-        return bool(self._records)
+        return self._n > 0
 
     def __repr__(self) -> str:
-        if not self._records:
+        if not self._n:
             return "RecordList(empty)"
         return (
-            f"RecordList(n={len(self._records)}, "
-            f"min={self._records[0].value:g}, max={self._records[-1].value:g})"
+            f"RecordList(n={self._n}, "
+            f"min={self._values_buf[0]:g}, max={self._values_buf[self._n - 1]:g})"
         )
 
     # -- misc ---------------------------------------------------------------------
@@ -241,8 +382,8 @@ class RecordList:
         return self._capacity
 
     def total_significance(self) -> float:
-        return float(self.sig_prefix[-1]) if self._records else 0.0
+        return float(self._sp_buf[self._n - 1]) if self._n else 0.0
 
     def snapshot(self) -> Tuple[ResourceRecord, ...]:
         """An immutable copy of the current records, in value order."""
-        return tuple(self._records)
+        return tuple(self._record_at(i) for i in range(self._n))

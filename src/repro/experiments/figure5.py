@@ -65,9 +65,20 @@ def run(
     workflows: Sequence[str] = PAPER_WORKFLOWS,
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> Figure5Result:
-    """Execute the AWE grid (the expensive one: 49 simulations)."""
-    grid = run_grid(workflows=workflows, algorithms=algorithms, config=config, verbose=verbose)
+    """Execute the AWE grid (the expensive one: 49 simulations).
+
+    ``jobs`` > 1 runs the cells in parallel worker processes; results
+    are identical to the serial path.
+    """
+    grid = run_grid(
+        workflows=workflows,
+        algorithms=algorithms,
+        config=config,
+        verbose=verbose,
+        jobs=jobs,
+    )
     return Figure5Result(grid=grid)
 
 

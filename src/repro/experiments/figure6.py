@@ -79,9 +79,20 @@ def run(
     workflows: Sequence[str] = PAPER_WORKFLOWS,
     algorithms: Sequence[str] = FIGURE6_ALGORITHMS,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> Figure6Result:
-    """Execute the waste-decomposition grid (42 simulations)."""
-    grid = run_grid(workflows=workflows, algorithms=algorithms, config=config, verbose=verbose)
+    """Execute the waste-decomposition grid (42 simulations).
+
+    ``jobs`` > 1 runs the cells in parallel worker processes; results
+    are identical to the serial path.
+    """
+    grid = run_grid(
+        workflows=workflows,
+        algorithms=algorithms,
+        config=config,
+        verbose=verbose,
+        jobs=jobs,
+    )
     return Figure6Result(grid=grid)
 
 

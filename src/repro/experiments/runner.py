@@ -1,7 +1,17 @@
-"""Grid runner: (workflow x algorithm) simulation sweeps."""
+"""Grid runner: (workflow x algorithm) simulation sweeps.
+
+``run_grid`` executes every (workflow, algorithm) cell either serially
+in-process (``jobs=1``, the default) or across a spawn-based
+``ProcessPoolExecutor`` (``jobs > 1``).  Cells are fully independent —
+each builds its workflow and allocator from the shared
+:class:`~repro.experiments.config.ExperimentConfig` seeds — so the
+parallel path is bit-identical to the serial one, cell for cell.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -74,38 +84,80 @@ class GridResult:
         )
 
 
+def _run_grid_cell(
+    wf_name: str, algorithm: str, config: ExperimentConfig
+) -> SimulationResult:
+    """One grid cell, built entirely from the (picklable) config.
+
+    Workflow generation is deterministic in ``workflow_seed``, so
+    regenerating the workflow inside a worker process yields the exact
+    task stream the serial path sees, and the allocator/pool seeds come
+    from the config — parallel results are bit-identical to serial ones.
+    """
+    workflow = make_workflow(
+        wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
+    )
+    manager = WorkflowManager(workflow, _simulation_config(config, algorithm, {}))
+    return manager.run()
+
+
 def run_grid(
     workflows: Sequence[str] = PAPER_WORKFLOWS,
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     config: Optional[ExperimentConfig] = None,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> GridResult:
     """Run the full evaluation grid (Figures 5 and 6 share it).
 
-    Workflows are generated once and reused across algorithms so every
-    algorithm sees the identical task stream.
+    Workflows are generated once per workflow name and reused (serial
+    path) or regenerated per cell from the same seed (parallel path), so
+    every algorithm sees the identical task stream either way.
+
+    ``jobs`` > 1 fans the cells out over that many worker processes
+    using the ``spawn`` start method (safe under any threading model);
+    ``jobs=1`` keeps everything serial in-process.  Results are
+    identical cell for cell regardless of ``jobs``.
     """
     config = config if config is not None else ExperimentConfig()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    keys = [(wf, algo) for wf in workflows for algo in algorithms]
     cells: Dict[Tuple[str, str], SimulationResult] = {}
-    for wf_name in workflows:
-        workflow = make_workflow(
-            wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
-        )
-        for algorithm in algorithms:
-            manager = WorkflowManager(
-                workflow, _simulation_config(config, algorithm, {})
+    if jobs == 1:
+        for wf_name in workflows:
+            workflow = make_workflow(
+                wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
             )
-            result = manager.run()
-            cells[wf_name, algorithm] = result
-            if verbose:
-                print(
-                    f"[grid] {wf_name:12s} {algorithm:22s} "
-                    f"attempts={result.n_attempts:5d} "
-                    f"awe={ {r.key: round(result.ledger.awe(r), 3) for r in result.ledger.resources} }"
+            for algorithm in algorithms:
+                manager = WorkflowManager(
+                    workflow, _simulation_config(config, algorithm, {})
                 )
+                cells[wf_name, algorithm] = manager.run()
+                if verbose:
+                    _print_cell(wf_name, algorithm, cells[wf_name, algorithm])
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = {
+                key: pool.submit(_run_grid_cell, key[0], key[1], config)
+                for key in keys
+            }
+            for key in keys:
+                cells[key] = futures[key].result()
+                if verbose:
+                    _print_cell(key[0], key[1], cells[key])
     return GridResult(
         config=config,
         workflows=tuple(workflows),
         algorithms=tuple(algorithms),
         cells=cells,
+    )
+
+
+def _print_cell(wf_name: str, algorithm: str, result: SimulationResult) -> None:
+    print(
+        f"[grid] {wf_name:12s} {algorithm:22s} "
+        f"attempts={result.n_attempts:5d} "
+        f"awe={ {r.key: round(result.ledger.awe(r), 3) for r in result.ledger.resources} }"
     )
