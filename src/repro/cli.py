@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1
 from repro.experiments import ablation, convergence, hybrid_study, robustness, scaling
 from repro.experiments.config import ExperimentConfig
+from repro.sim.faults import FAULT_PROFILES, make_fault_config
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +65,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for grid experiments (figure5/figure6); "
         "results are identical to the serial run",
     )
+    parser.add_argument(
+        "--faults",
+        choices=list(FAULT_PROFILES),
+        default="none",
+        help="seeded fault-injection profile applied to every simulation "
+        "(worker preemption, mid-task kills, dispatch failures; "
+        "'chaos' adds capacity degradation)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=1.0 / 600.0,
+        help="mean fault rate (events/second) for the stochastic profiles",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="RNG seed of the fault schedule (same seed => same faults, "
+        "bit-identical replay)",
+    )
     parser.add_argument("--verbose", action="store_true", help="print per-cell progress")
     return parser
 
@@ -74,6 +96,9 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         n_workers=args.workers,
         workflow_seed=args.seed,
         ramp_up_seconds=args.ramp_up,
+        faults=make_fault_config(
+            args.faults, rate=args.fault_rate, seed=args.fault_seed
+        ),
     )
 
 
@@ -114,7 +139,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif target == "hybrid":
             print(hybrid_study.render(hybrid_study.run(config)))
         elif target == "robustness":
-            print(robustness.render_seed_sweep(robustness.run_seed_sweep(config)))
+            if args.faults != "none":
+                # Compare the chosen fault profile against the
+                # fault-free baseline; the config's own faults field is
+                # overridden per profile inside the sweep.
+                print(
+                    robustness.render_fault_sweep(
+                        robustness.run_fault_sweep(
+                            config.with_(faults=None),
+                            profiles=("none", args.faults),
+                            fault_rate=args.fault_rate,
+                            fault_seed=args.fault_seed,
+                        )
+                    )
+                )
+            else:
+                print(robustness.render_seed_sweep(robustness.run_seed_sweep(config)))
         elif target == "convergence":
             print(convergence.render(convergence.run(config)))
         print()

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.core.allocator import AllocatorConfig
+from repro.sim.faults import FaultConfig
 from repro.sim.manager import SimulationConfig
 from repro.sim.pool import PoolConfig
 from repro.sim.profiles import ConsumptionProfile, LinearRampProfile
@@ -75,6 +76,11 @@ class ExperimentConfig:
     pool_seed: int = 2
     profile: ConsumptionProfile = field(default_factory=LinearRampProfile)
     max_outstanding: Optional[int] = None
+    #: Optional fault-injection schedule (preemptions, kills, dispatch
+    #: failures, degradation); ``None`` runs fault-free.  Applies to
+    #: every cell built from this config, so whole grids can be swept
+    #: under identical adversity.
+    faults: Optional[FaultConfig] = None
 
     def simulation_config(self, algorithm: str, **allocator_overrides) -> SimulationConfig:
         return SimulationConfig(
@@ -88,6 +94,7 @@ class ExperimentConfig:
             ),
             profile=self.profile,
             max_outstanding=self.max_outstanding,
+            faults=self.faults,
         )
 
     def with_(self, **changes) -> "ExperimentConfig":

@@ -15,6 +15,13 @@ study quantifies that robustness two ways:
   input distribution").  Because every algorithm here is online and
   prior-free, the shifted run's AWE should track the nominal run's —
   this is the experiment a trace-trained predictor would fail.
+* **Fault sweep** — run each algorithm under seeded fault-injection
+  profiles (worker preemption, mid-task kills, transient dispatch
+  failures; see :mod:`repro.sim.faults`) and report how AWE and
+  makespan degrade relative to the fault-free run.  Eviction waste is
+  excluded from AWE by construction (Section II-C), so a robust
+  allocator's AWE should barely move while its makespan absorbs the
+  lost work.
 """
 
 from __future__ import annotations
@@ -28,8 +35,16 @@ from repro.core.resources import MEMORY
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_cell
+from repro.sim.faults import make_fault_config
 
-__all__ = ["SeedSweepResult", "run_seed_sweep", "render_seed_sweep"]
+__all__ = [
+    "SeedSweepResult",
+    "run_seed_sweep",
+    "render_seed_sweep",
+    "FaultSweepResult",
+    "run_fault_sweep",
+    "render_fault_sweep",
+]
 
 
 @dataclass
@@ -98,4 +113,104 @@ def render_seed_sweep(result: SeedSweepResult) -> str:
             f"E-X4 robustness — {result.workflow} across "
             f"{len(result.seeds)} generation seeds"
         ),
+    )
+
+
+@dataclass
+class FaultSweepResult:
+    """Per-(algorithm, fault profile) outcomes of one workflow."""
+
+    workflow: str
+    algorithms: Tuple[str, ...]
+    profiles: Tuple[str, ...]
+    #: (algorithm, profile) -> AWE(memory)
+    awe: Dict[Tuple[str, str], float]
+    #: (algorithm, profile) -> makespan seconds
+    makespan: Dict[Tuple[str, str], float]
+    #: (algorithm, profile) -> evicted attempt count
+    evictions: Dict[Tuple[str, str], int]
+
+    def awe_drop(self, algorithm: str, profile: str) -> float:
+        """AWE lost relative to the fault-free run (positive = worse)."""
+        return self.awe[algorithm, "none"] - self.awe[algorithm, profile]
+
+    def slowdown(self, algorithm: str, profile: str) -> float:
+        """Makespan ratio relative to the fault-free run (>= 1 typical)."""
+        baseline = self.makespan[algorithm, "none"]
+        return self.makespan[algorithm, profile] / baseline if baseline else 1.0
+
+
+def run_fault_sweep(
+    config: Optional[ExperimentConfig] = None,
+    workflow: str = "bimodal",
+    algorithms: Sequence[str] = (
+        "max_seen",
+        "min_waste",
+        "greedy_bucketing",
+        "exhaustive_bucketing",
+    ),
+    profiles: Sequence[str] = ("none", "fixed", "poisson"),
+    fault_rate: float = 1.0 / 600.0,
+    fault_seed: int = 0,
+) -> FaultSweepResult:
+    """Run one workflow under each fault profile per algorithm.
+
+    The fault schedule is identical across algorithms within a profile
+    (same :class:`~repro.sim.faults.FaultConfig` seed), so AWE/makespan
+    differences are attributable to the allocation policy alone.
+    """
+    config = config if config is not None else ExperimentConfig()
+    awe: Dict[Tuple[str, str], float] = {}
+    makespan: Dict[Tuple[str, str], float] = {}
+    evictions: Dict[Tuple[str, str], int] = {}
+    for profile in profiles:
+        faulted = config.with_(
+            faults=make_fault_config(profile, rate=fault_rate, seed=fault_seed)
+        )
+        for algorithm in algorithms:
+            result = run_cell(workflow, algorithm, faulted)
+            awe[algorithm, profile] = result.ledger.awe(MEMORY)
+            makespan[algorithm, profile] = result.makespan
+            evictions[algorithm, profile] = result.n_evicted_attempts
+    return FaultSweepResult(
+        workflow=workflow,
+        algorithms=tuple(algorithms),
+        profiles=tuple(profiles),
+        awe=awe,
+        makespan=makespan,
+        evictions=evictions,
+    )
+
+
+def render_fault_sweep(result: FaultSweepResult) -> str:
+    rows = []
+    for algorithm in result.algorithms:
+        for profile in result.profiles:
+            rows.append(
+                (
+                    algorithm,
+                    profile,
+                    result.awe[algorithm, profile],
+                    result.awe_drop(algorithm, profile)
+                    if "none" in result.profiles
+                    else float("nan"),
+                    result.makespan[algorithm, profile],
+                    result.slowdown(algorithm, profile)
+                    if "none" in result.profiles
+                    else float("nan"),
+                    result.evictions[algorithm, profile],
+                )
+            )
+    return format_table(
+        headers=[
+            "algorithm",
+            "faults",
+            "AWE(mem)",
+            "AWE drop",
+            "makespan (s)",
+            "slowdown",
+            "evictions",
+        ],
+        rows=rows,
+        title=f"E-X4 robustness — {result.workflow} under fault injection",
     )

@@ -32,8 +32,22 @@ from repro.sim.profiles import (
 )
 from repro.sim.accounting import Ledger, WasteBreakdown
 from repro.sim.scheduler import Scheduler
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    FixedPreemptions,
+    PoissonPreemptions,
+    TracePreemptions,
+    TaskKillConfig,
+    DispatchFaultConfig,
+    DegradationConfig,
+    make_fault_config,
+)
+from repro.sim.invariants import InvariantChecker, InvariantViolation
 from repro.sim.manager import WorkflowManager, SimulationConfig, SimulationResult
 from repro.sim.observability import Timeline, TimelineRecorder, TimelineSample
+from repro.sim.trace import SimEvent, TraceRecorder
 
 __all__ = [
     "SimulationEngine",
@@ -52,6 +66,20 @@ __all__ = [
     "Ledger",
     "WasteBreakdown",
     "Scheduler",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "FixedPreemptions",
+    "PoissonPreemptions",
+    "TracePreemptions",
+    "TaskKillConfig",
+    "DispatchFaultConfig",
+    "DegradationConfig",
+    "make_fault_config",
+    "InvariantChecker",
+    "InvariantViolation",
+    "SimEvent",
+    "TraceRecorder",
     "WorkflowManager",
     "SimulationConfig",
     "SimulationResult",

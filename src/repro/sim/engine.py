@@ -26,6 +26,12 @@ class SimulationEngine:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._last_event_time = 0.0
+        #: Post-event hooks, called (with no arguments) after every
+        #: processed callback.  The invariant checker rides on this to
+        #: audit system state between events; listeners must not
+        #: schedule new events.
+        self._listeners: List[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -37,8 +43,25 @@ class SimulationEngine:
         return self._processed
 
     @property
+    def last_event_time(self) -> float:
+        """Scheduled time of the most recently processed event.
+
+        ``now`` normally equals this; a callback that (buggily) rewound
+        the clock leaves ``now`` behind it, which is how the invariant
+        checker detects non-monotone time.
+        """
+        return self._last_event_time
+
+    @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        """Register a hook to run after every processed event."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[], None]) -> None:
+        self._listeners.remove(listener)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
@@ -84,7 +107,11 @@ class SimulationEngine:
                     break
                 heapq.heappop(self._queue)
                 self._now = time
+                self._last_event_time = time
                 callback()
+                if self._listeners:
+                    for listener in self._listeners:
+                        listener()
                 self._processed += 1
                 processed_this_run += 1
                 if max_events is not None and processed_this_run >= max_events:

@@ -24,16 +24,19 @@ from __future__ import annotations
 import dataclasses
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.allocator import AllocatorConfig, TaskOrientedAllocator
 from repro.core.resources import Resource, ResourceVector, TIME
 from repro.sim.accounting import Ledger, WasteBreakdown
 from repro.sim.engine import SimulationEngine
+from repro.sim.faults import FaultConfig, FaultInjector, FaultStats
+from repro.sim.invariants import InvariantChecker
 from repro.sim.pool import PoolConfig, WorkerPool
 from repro.sim.profiles import ConsumptionProfile, LinearRampProfile
 from repro.sim.scheduler import Scheduler
 from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
+from repro.sim.trace import SimEvent
 from repro.sim.worker import Worker
 from repro.workflows.spec import WorkflowSpec
 
@@ -62,6 +65,15 @@ class SimulationConfig:
     #: spinning (attempts per task are bounded by doubling, so legitimate
     #: runs stay far below ~20 events/task).
     max_events: Optional[int] = None
+    #: Fault-injection schedule (see :mod:`repro.sim.faults`); ``None``
+    #: runs fault-free.  Faults are seeded independently of the pool's
+    #: churn and the allocator, so the same ``faults.seed`` replays the
+    #: same adversity bit for bit.
+    faults: Optional[FaultConfig] = None
+    #: Continuous invariant auditing (see :mod:`repro.sim.invariants`).
+    #: On by default — the conservation laws are cheap relative to the
+    #: dispatch scan; very large perf sweeps may opt out.
+    check_invariants: bool = True
 
     def __post_init__(self) -> None:
         if self.max_outstanding is not None and self.max_outstanding < 1:
@@ -90,6 +102,8 @@ class SimulationResult:
     workers_joined: int
     workers_left: int
     wall_clock_seconds: float
+    #: Injected-fault tallies; all zero on a fault-free run.
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     def awe(self, resource: Resource) -> float:
         return self.ledger.awe(resource)
@@ -158,6 +172,22 @@ class WorkflowManager:
         )
         self._pool.on_worker_joined = self._on_worker_joined
         self._pool.on_worker_leaving = self._on_worker_leaving
+        self._pool.on_worker_degraded = self._on_worker_degraded
+
+        #: Subscribers to the manager's event stream (trace recorders).
+        self._event_listeners: List[Callable[[SimEvent], None]] = []
+        self._invariants: Optional[InvariantChecker] = (
+            InvariantChecker(self) if self._config.check_invariants else None
+        )
+        self._faults: Optional[FaultInjector] = None
+        if self._config.faults is not None and self._config.faults.enabled:
+            self._faults = FaultInjector(
+                self._engine,
+                self._pool,
+                self._config.faults,
+                running_tasks=lambda: tuple(self._attempt_worker),
+                kill_task=self._fault_kill,
+            )
 
         #: attempt validity tokens: an eviction invalidates the pending
         #: end-of-attempt event of the evicted task.
@@ -183,6 +213,35 @@ class WorkflowManager:
     def engine(self) -> SimulationEngine:
         return self._engine
 
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    @property
+    def ledger(self) -> Ledger:
+        return self._ledger
+
+    @property
+    def invariants(self) -> Optional[InvariantChecker]:
+        return self._invariants
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self._faults
+
+    def tasks(self) -> Tuple[SimTask, ...]:
+        return tuple(self._tasks.values())
+
+    def add_event_listener(self, listener: Callable[[SimEvent], None]) -> None:
+        """Subscribe to the manager's event stream (trace recording)."""
+        self._event_listeners.append(listener)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._event_listeners:
+            event = SimEvent(time=self._engine.now, kind=kind, fields=fields)
+            for listener in self._event_listeners:
+                listener(event)
+
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return the result."""
         if self._ran:
@@ -201,12 +260,15 @@ class WorkflowManager:
                 f"simulation drained with {self._completed}/{len(self._workflow)} "
                 "tasks completed — the pool can no longer host the remaining tasks"
             )
+        if self._invariants is not None:
+            self._invariants.check_complete()
         assert self._ledger.identity_holds(), "accounting identity violated"
 
         makespan = max(
             (t.completion_time for t in self._tasks.values() if t.completion_time is not None),
             default=0.0,
         )
+        self._emit("complete", tasks=self._completed, attempts=self._ledger.n_attempts)
         return SimulationResult(
             workflow_name=self._workflow.name,
             algorithm="oracle" if self._config.oracle else self._config.allocator.algorithm,
@@ -219,6 +281,7 @@ class WorkflowManager:
             workers_joined=self._pool.total_joined,
             workers_left=self._pool.total_left,
             wall_clock_seconds=_time.perf_counter() - started,
+            fault_stats=self._faults.stats if self._faults is not None else FaultStats(),
         )
 
     # -- allocation hooks ---------------------------------------------------------------
@@ -273,7 +336,27 @@ class WorkflowManager:
     def _start_attempt(self, task: SimTask, worker: Worker) -> None:
         allocation = task.current_allocation
         assert allocation is not None
+        if self._faults is not None:
+            retry_in = self._faults.dispatch_fault_delay(task.task_id)
+            if retry_in is not None:
+                # Transient dispatch failure: the placement never
+                # happened (no attempt record, no capacity held); the
+                # task re-queues after exponential backoff with its
+                # allocation pinned — a lost submission says nothing
+                # about the allocation's adequacy.
+                task.state = TaskState.READY
+                self._emit(
+                    "dispatch_fault",
+                    task=task.task_id,
+                    worker=worker.worker_id,
+                    retry_in=retry_in,
+                )
+                self._engine.schedule(retry_in, lambda: self._redispatch(task))
+                return
         worker.place(task.task_id, allocation)
+        self._emit(
+            "dispatch", task=task.task_id, worker=worker.worker_id, alloc=allocation
+        )
         now = self._engine.now
         self._attempt_start[task.task_id] = now
         self._attempt_worker[task.task_id] = worker.worker_id
@@ -291,6 +374,19 @@ class WorkflowManager:
             runtime,
             lambda: self._end_attempt(task, worker, verdict, runtime, token),
         )
+
+    def _redispatch(self, task: SimTask) -> None:
+        """Re-queue a task whose dispatch failed transiently."""
+        if task.state is not TaskState.READY:  # pragma: no cover - defensive
+            return
+        self._scheduler.enqueue_retry(task)
+        self._dispatch()
+
+    def _record_attempt(self, task: SimTask, attempt: Attempt) -> None:
+        """Single chokepoint for attempt history: record, then audit."""
+        task.record_attempt(attempt)
+        if self._invariants is not None:
+            self._invariants.check_attempt(task, attempt)
 
     def _end_attempt(self, task, worker, verdict, runtime: float, token: int) -> None:
         if self._attempt_token[task.task_id] != token:
@@ -313,7 +409,8 @@ class WorkflowManager:
                 outcome=AttemptOutcome.SUCCESS,
                 observed=task.spec.consumption,
             )
-            task.record_attempt(attempt)
+            self._record_attempt(task, attempt)
+            self._emit("success", task=task.task_id, worker=worker.worker_id)
             task.state = TaskState.COMPLETED
             task.completion_time = self._engine.now
             self._completed += 1
@@ -329,6 +426,8 @@ class WorkflowManager:
             self._notify_children(task)
             if self._completed == len(self._workflow):
                 self._pool.stop()
+                if self._faults is not None:
+                    self._faults.stop()
                 return
         else:
             attempt = Attempt(
@@ -341,7 +440,13 @@ class WorkflowManager:
                 observed=verdict.observed,
                 exhausted=verdict.exhausted,
             )
-            task.record_attempt(attempt)
+            self._record_attempt(task, attempt)
+            self._emit(
+                "exhausted",
+                task=task.task_id,
+                worker=worker.worker_id,
+                resources=tuple(r.key for r in verdict.exhausted),
+            )
             task.state = TaskState.READY
             task.current_allocation = self._allocator.allocate_retry(
                 task.category,
@@ -362,46 +467,94 @@ class WorkflowManager:
     # -- pool callbacks ----------------------------------------------------------------------
 
     def _on_worker_joined(self, worker: Worker) -> None:
+        self._emit("worker_join", worker=worker.worker_id)
         self._dispatch()
 
     def _on_worker_leaving(self, worker: Worker, evicted: Dict[int, ResourceVector]) -> None:
-        now = self._engine.now
+        self._emit(
+            "worker_leave", worker=worker.worker_id, evicted=tuple(evicted)
+        )
         for task_id, allocation in evicted.items():
-            task = self._tasks[task_id]
-            self._attempt_token[task_id] += 1  # invalidate the pending end event
-            start = self._attempt_start.pop(task_id, now)
-            self._attempt_worker.pop(task_id, None)
-            self._running_per_category[task.category] -= 1
-            elapsed = now - start
-            fraction = min(1.0, elapsed / task.spec.duration) if task.spec.duration > 0 else 0.0
-            observed = ResourceVector(
-                {
-                    res: min(
-                        self._config.profile.consumed_at(
-                            task.spec.consumption[res], fraction
-                        ),
-                        task.spec.consumption[res],
-                    )
-                    for res in task.spec.consumption
-                    if res is not TIME
-                }
-            )
-            attempt = Attempt(
-                index=task.n_attempts,
-                worker_id=worker.worker_id,
-                allocation=allocation,
-                start_time=start,
-                runtime=elapsed,
-                outcome=AttemptOutcome.EVICTED,
-                observed=observed,
-            )
-            task.record_attempt(attempt)
-            task.state = TaskState.READY
-            # Eviction says nothing about the allocation's adequacy:
-            # retry with the same allocation.
-            self._scheduler.enqueue_retry(task)
+            self._evict_attempt(task_id, allocation, worker.worker_id, cause="worker_lost")
         if evicted:
             self._dispatch()
+
+    def _on_worker_degraded(self, worker: Worker, evicted: Dict[int, ResourceVector]) -> None:
+        """A worker shrank under its tasks; requeue the ones pushed off."""
+        self._emit(
+            "worker_degraded",
+            worker=worker.worker_id,
+            capacity=worker.capacity,
+            evicted=tuple(evicted),
+        )
+        for task_id, allocation in evicted.items():
+            self._evict_attempt(task_id, allocation, worker.worker_id, cause="degraded")
+        if evicted:
+            self._dispatch()
+
+    def _fault_kill(self, task_id: int) -> bool:
+        """Kill one running attempt as an injected fault.
+
+        The worker survives — only the task's process dies — so its
+        reservation is released and the attempt is accounted exactly
+        like an eviction: requeued with the same allocation, held
+        resources charged to the eviction bucket.
+        """
+        worker_id = self._attempt_worker.get(task_id)
+        if worker_id is None:
+            return False
+        start = self._attempt_start[task_id]
+        worker = self._pool.worker(worker_id)
+        allocation = worker.release(task_id, held_for=self._engine.now - start)
+        self._evict_attempt(task_id, allocation, worker_id, cause="fault_kill")
+        self._dispatch()
+        return True
+
+    def _evict_attempt(
+        self, task_id: int, allocation: ResourceVector, worker_id: int, cause: str
+    ) -> None:
+        """Common bookkeeping for an attempt lost to external causes.
+
+        Used for worker departures (churn and preemption faults),
+        capacity degradations and mid-task kills: invalidate the
+        pending end-of-attempt event, record an EVICTED attempt with
+        the consumption observed so far, and requeue the task with its
+        allocation unchanged — eviction says nothing about the
+        allocation's adequacy.
+        """
+        now = self._engine.now
+        task = self._tasks[task_id]
+        self._attempt_token[task_id] += 1  # invalidate the pending end event
+        start = self._attempt_start.pop(task_id, now)
+        self._attempt_worker.pop(task_id, None)
+        self._running_per_category[task.category] -= 1
+        elapsed = now - start
+        fraction = min(1.0, elapsed / task.spec.duration) if task.spec.duration > 0 else 0.0
+        observed = ResourceVector(
+            {
+                res: min(
+                    self._config.profile.consumed_at(
+                        task.spec.consumption[res], fraction
+                    ),
+                    task.spec.consumption[res],
+                )
+                for res in task.spec.consumption
+                if res is not TIME
+            }
+        )
+        attempt = Attempt(
+            index=task.n_attempts,
+            worker_id=worker_id,
+            allocation=allocation,
+            start_time=start,
+            runtime=elapsed,
+            outcome=AttemptOutcome.EVICTED,
+            observed=observed,
+        )
+        self._record_attempt(task, attempt)
+        self._emit("evicted", task=task_id, worker=worker_id, cause=cause)
+        task.state = TaskState.READY
+        self._scheduler.enqueue_retry(task)
 
     # -- dispatch trampoline -------------------------------------------------------------------
 

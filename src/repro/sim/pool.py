@@ -109,6 +109,9 @@ class WorkerPool:
         self._stopped = False
         self.on_worker_joined: Optional[Callable[[Worker], None]] = None
         self.on_worker_leaving: Optional[Callable[[Worker, Dict[int, ResourceVector]], None]] = None
+        #: Fired when a worker's capacity shrinks in place with
+        #: ``evicted`` = {task_id: allocation} for tasks that no longer fit.
+        self.on_worker_degraded: Optional[Callable[[Worker, Dict[int, ResourceVector]], None]] = None
 
         ramp = self._config.ramp_up_seconds
         if ramp <= 0:
@@ -191,20 +194,41 @@ class WorkerPool:
         self._workers[worker.worker_id] = worker
         self._total_joined += 1
         churn = self._config.churn
-        if churn.mean_lifetime is not None:
+        if churn.mean_lifetime is not None and not self._pinned_at_floor():
             lifetime = float(self._rng.exponential(churn.mean_lifetime))
             self._engine.schedule(lifetime, lambda w=worker: self._depart(w))
         if not initial and self.on_worker_joined is not None:
             self.on_worker_joined(worker)
         return worker
 
+    def _pinned_at_floor(self) -> bool:
+        """True when no departure can ever legally fire again.
+
+        With arrivals disabled, the population can never grow past the
+        initial cohort; once it cannot exceed the churn floor, drawing
+        lifetimes would only produce suppressed departures that re-arm
+        forever and keep the event queue alive.  (This was a real bug:
+        a 1-worker pool with ``min_workers=1`` and no arrivals drew a
+        lifetime for its last worker and the engine never drained.)
+        """
+        churn = self._config.churn
+        return (
+            churn.mean_interarrival is None
+            and self._config.n_workers <= churn.min_workers
+        )
+
     def _depart(self, worker: Worker) -> None:
         if self._stopped or not worker.alive or worker.worker_id not in self._workers:
             return
         if len(self._workers) <= self._config.churn.min_workers:
             # Suppressed departure: the batch system kept the lease.
-            # Re-arm so the worker can still leave later.
-            if self._config.churn.mean_lifetime is not None:
+            # Re-arm so the worker can still leave later — but only if a
+            # replacement can ever arrive; otherwise the pool is pinned
+            # at the floor and re-arming would livelock the event loop.
+            if (
+                self._config.churn.mean_lifetime is not None
+                and self._config.churn.mean_interarrival is not None
+            ):
                 delay = float(self._rng.exponential(self._config.churn.mean_lifetime))
                 self._engine.schedule(delay, lambda w=worker: self._depart(w))
             return
@@ -213,6 +237,39 @@ class WorkerPool:
         self._total_left += 1
         if self.on_worker_leaving is not None:
             self.on_worker_leaving(worker, evicted)
+
+    # -- fault-injection hooks (repro.sim.faults) ---------------------------------
+
+    def preempt_worker(self, worker_id: int) -> bool:
+        """Forcibly remove a worker *now* (preemption fault).
+
+        Unlike churn departures this bypasses the population floor — the
+        fault injector owns its own survivor policy.  Fires
+        ``on_worker_leaving`` with the evicted tasks; returns ``False``
+        if the worker is unknown or already gone.
+        """
+        worker = self._workers.pop(worker_id, None)
+        if worker is None:
+            return False
+        evicted = worker.evict_all(self._engine.now)
+        self._total_left += 1
+        if self.on_worker_leaving is not None:
+            self.on_worker_leaving(worker, evicted)
+        return True
+
+    def degrade_worker(self, worker_id: int, new_capacity: ResourceVector) -> bool:
+        """Shrink one worker's capacity in place (degradation fault).
+
+        Tasks that no longer fit are evicted by the worker and handed to
+        ``on_worker_degraded``; returns ``False`` for unknown workers.
+        """
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            return False
+        evicted = worker.degrade(new_capacity)
+        if self.on_worker_degraded is not None:
+            self.on_worker_degraded(worker, evicted)
+        return True
 
     def _schedule_arrival(self) -> None:
         churn = self._config.churn

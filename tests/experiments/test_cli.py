@@ -41,3 +41,53 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "exhaustive_bucketing" in out
+
+
+class TestFaultFlags:
+    def test_fault_flag_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.faults == "none"
+        assert args.fault_seed == 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--faults", "meteor"])
+
+    def test_robustness_fault_sweep(self, capsys):
+        argv = [
+            "robustness",
+            "--faults", "poisson",
+            "--fault-rate", "0.005",
+            "--fault-seed", "42",
+            "--tasks", "60",
+            "--workers", "4",
+            "--ramp-up", "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fault injection" in out
+        assert "poisson" in out and "none" in out
+
+    def test_seeded_chaos_run_replays_bit_identically(self, capsys):
+        """Acceptance criterion: the same --faults/--seed invocation
+        produces byte-identical output across two runs."""
+        argv = [
+            "robustness",
+            "--faults", "poisson",
+            "--seed", "42",
+            "--fault-rate", "0.005",
+            "--tasks", "60",
+            "--workers", "4",
+            "--ramp-up", "0",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_figure4_runs_under_faults(self, capsys):
+        assert main(
+            ["figure4", "--tasks", "80", "--faults", "fixed", "--fault-seed", "3"]
+        ) == 0
+        assert "Figure 4" in capsys.readouterr().out

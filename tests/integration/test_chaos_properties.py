@@ -1,0 +1,202 @@
+"""Chaos property tests: random fault schedules x random workflows.
+
+Hypothesis draws a workflow, an allocation algorithm and a fault
+configuration (preemptions, mid-task kills, dispatch failures,
+degradation — in any combination); regardless of the draw:
+
+* the simulation terminates (no fault schedule can livelock the event
+  loop — per-task fault caps and the survivor floor guarantee forward
+  progress);
+* the always-on :class:`InvariantChecker` stays silent — conservation
+  laws hold under adversity, not just on the happy path;
+* when at least one fault-free worker remains (``min_survivors >= 1``,
+  which every drawn config respects), every task completes exactly
+  once;
+* the run replays bit-identically from its seeds.
+
+The fast suite runs a trimmed example budget in CI; ``-m slow`` unlocks
+the wide sweep across all seven paper algorithms.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig
+from repro.core.resources import CORES, DISK, MEMORY, ResourceVector
+from repro.experiments.config import PAPER_ALGORITHMS
+from repro.sim.faults import (
+    DegradationConfig,
+    DispatchFaultConfig,
+    FaultConfig,
+    FixedPreemptions,
+    PoissonPreemptions,
+    TaskKillConfig,
+)
+from repro.sim.manager import SimulationConfig, WorkflowManager
+from repro.sim.pool import PoolConfig
+from repro.sim.task import AttemptOutcome
+from repro.sim.trace import TraceRecorder
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+task_strategy = st.tuples(
+    st.floats(min_value=0.1, max_value=8.0),       # cores
+    st.floats(min_value=10.0, max_value=15000.0),  # memory
+    st.floats(min_value=1.0, max_value=15000.0),   # disk
+    st.floats(min_value=1.0, max_value=200.0),     # duration
+)
+
+workflow_strategy = st.lists(task_strategy, min_size=3, max_size=15)
+
+preemption_strategy = st.one_of(
+    st.none(),
+    st.lists(
+        st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=4
+    ).map(lambda ts: FixedPreemptions(times=tuple(sorted(ts)))),
+    st.floats(min_value=1 / 400.0, max_value=1 / 40.0).map(
+        lambda r: PoissonPreemptions(rate=r, until=2000.0)
+    ),
+)
+
+kills_strategy = st.one_of(
+    st.none(),
+    st.floats(min_value=1 / 300.0, max_value=1 / 30.0).map(
+        lambda r: TaskKillConfig(rate=r, until=2000.0, max_kills_per_task=3)
+    ),
+)
+
+dispatch_strategy = st.one_of(
+    st.none(),
+    st.floats(min_value=0.05, max_value=0.4).map(
+        lambda p: DispatchFaultConfig(probability=p, backoff=2.0, max_faults_per_task=4)
+    ),
+)
+
+degradation_strategy = st.one_of(
+    st.none(),
+    st.floats(min_value=1 / 500.0, max_value=1 / 100.0).map(
+        lambda r: DegradationConfig(rate=r, factor=0.6, floor_fraction=0.4, until=2000.0)
+    ),
+)
+
+fault_strategy = st.builds(
+    FaultConfig,
+    preemption=preemption_strategy,
+    kills=kills_strategy,
+    dispatch=dispatch_strategy,
+    degradation=degradation_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+    min_survivors=st.integers(min_value=1, max_value=2),
+)
+
+
+def build_workflow(raw_tasks):
+    tasks = [
+        TaskSpec(
+            task_id=i,
+            category="fuzz",
+            consumption=ResourceVector.of(cores=c, memory=m, disk=d),
+            duration=t,
+        )
+        for i, (c, m, d, t) in enumerate(raw_tasks)
+    ]
+    return WorkflowSpec("chaos", tasks)
+
+
+def run_chaos(raw_tasks, algorithm, faults, seed=0):
+    manager = WorkflowManager(
+        build_workflow(raw_tasks),
+        SimulationConfig(
+            allocator=AllocatorConfig(
+                algorithm=algorithm,
+                seed=seed,
+                exploratory=ExploratoryConfig(min_records=3),
+            ),
+            pool=PoolConfig(
+                n_workers=3,
+                capacity=ResourceVector.of(cores=16, memory=32000, disk=32000),
+                seed=seed,
+            ),
+            faults=faults,
+        ),
+    )
+    result = manager.run()
+    return manager, result
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workflow_strategy, st.sampled_from(PAPER_ALGORITHMS), fault_strategy)
+def test_chaos_terminates_and_completes_every_task(raw_tasks, algorithm, faults):
+    """Invariants are audited continuously (checker is on by default);
+    a violation would raise out of run()."""
+    manager, result = run_chaos(raw_tasks, algorithm, faults)
+    assert result.n_tasks == len(raw_tasks)
+    assert manager.invariants.events_checked > 0
+    for task in manager.tasks():
+        assert task.attempts[-1].outcome is AttemptOutcome.SUCCESS
+        assert (
+            sum(1 for a in task.attempts if a.outcome is AttemptOutcome.SUCCESS) == 1
+        )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workflow_strategy, st.sampled_from(PAPER_ALGORITHMS), fault_strategy)
+def test_chaos_preserves_accounting_identity_and_awe(raw_tasks, algorithm, faults):
+    _, result = run_chaos(raw_tasks, algorithm, faults)
+    assert result.ledger.identity_holds()
+    for res in (CORES, MEMORY, DISK):
+        awe = result.ledger.awe(res)
+        assert 0.0 < awe <= 1.0 + 1e-9
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workflow_strategy, fault_strategy)
+def test_chaos_replays_bit_identically(raw_tasks, faults):
+    def trace_once():
+        manager = WorkflowManager(
+            build_workflow(raw_tasks),
+            SimulationConfig(
+                allocator=AllocatorConfig(
+                    algorithm="quantized_bucketing",
+                    seed=3,
+                    exploratory=ExploratoryConfig(min_records=3),
+                ),
+                pool=PoolConfig(
+                    n_workers=3,
+                    capacity=ResourceVector.of(cores=16, memory=32000, disk=32000),
+                    seed=3,
+                ),
+                faults=faults,
+            ),
+        )
+        recorder = TraceRecorder(manager)
+        manager.run()
+        return recorder.text()
+
+    assert trace_once() == trace_once()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workflow_strategy, fault_strategy)
+def test_chaos_evictions_never_escalate_allocations(raw_tasks, faults):
+    """Only exhaustion grows an allocation; eviction/kill retries keep
+    the pinned one, so sequences stay componentwise non-decreasing."""
+    manager, _ = run_chaos(raw_tasks, "max_seen", faults)
+    for task in manager.tasks():
+        for prev, cur in zip(task.attempts, task.attempts[1:]):
+            for res in (CORES, MEMORY, DISK):
+                assert cur.allocation[res] >= prev.allocation[res] - 1e-9
+            if prev.outcome is AttemptOutcome.EVICTED:
+                assert cur.allocation == prev.allocation
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workflow_strategy, st.sampled_from(PAPER_ALGORITHMS), fault_strategy)
+def test_chaos_wide_sweep(raw_tasks, algorithm, faults):
+    """The slow, wide version of the termination/invariant sweep."""
+    manager, result = run_chaos(raw_tasks, algorithm, faults)
+    assert result.n_tasks == len(raw_tasks)
+    assert result.ledger.identity_holds()
+    for task in manager.tasks():
+        assert task.attempts[-1].outcome is AttemptOutcome.SUCCESS

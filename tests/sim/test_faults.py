@@ -1,0 +1,274 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig
+from repro.core.resources import ResourceVector
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import (
+    DegradationConfig,
+    DispatchFaultConfig,
+    FaultConfig,
+    FaultInjector,
+    FixedPreemptions,
+    PoissonPreemptions,
+    TaskKillConfig,
+    TracePreemptions,
+    make_fault_config,
+)
+from repro.sim.manager import SimulationConfig, WorkflowManager
+from repro.sim.pool import PoolConfig, WorkerPool
+from repro.sim.task import AttemptOutcome
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+
+def capacity():
+    return ResourceVector.of(cores=8, memory=16000, disk=16000)
+
+
+def make_workflow(n=30, duration=60.0, memory=500.0):
+    tasks = [
+        TaskSpec(
+            task_id=i,
+            category="proc",
+            consumption=ResourceVector.of(cores=1, memory=memory, disk=100),
+            duration=duration,
+        )
+        for i in range(n)
+    ]
+    return WorkflowSpec("faulty", tasks)
+
+
+def sim_config(faults, n_workers=4, algorithm="max_seen", min_records=3, pool_seed=2):
+    return SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm=algorithm,
+            seed=1,
+            exploratory=ExploratoryConfig(min_records=min_records),
+        ),
+        pool=PoolConfig(n_workers=n_workers, capacity=capacity(), seed=pool_seed),
+        faults=faults,
+    )
+
+
+def bare_injector(config, n_workers=4):
+    """An injector over a bare pool, no manager (for schedule tests)."""
+    engine = SimulationEngine()
+    pool = WorkerPool(engine, PoolConfig(n_workers=n_workers, capacity=capacity()))
+    injector = FaultInjector(
+        engine, pool, config, running_tasks=tuple, kill_task=lambda _tid: False
+    )
+    return engine, pool, injector
+
+
+class TestConfigValidation:
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoissonPreemptions(rate=0.0)
+        with pytest.raises(ValueError):
+            TaskKillConfig(rate=-1.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(rate=0.0)
+
+    def test_dispatch_probability_bounds(self):
+        with pytest.raises(ValueError):
+            DispatchFaultConfig(probability=0.0)
+        with pytest.raises(ValueError):
+            DispatchFaultConfig(probability=1.0)
+
+    def test_degradation_factor_bounds(self):
+        with pytest.raises(ValueError):
+            DegradationConfig(rate=1.0, factor=1.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(rate=1.0, floor_fraction=0.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPreemptions(times=(-1.0,))
+        with pytest.raises(ValueError):
+            TracePreemptions(events=((-1.0, 0),))
+
+    def test_enabled_flag(self):
+        assert not FaultConfig().enabled
+        assert FaultConfig(kills=TaskKillConfig(rate=1.0)).enabled
+
+
+class TestPreemptionSchedules:
+    def test_fixed_preemptions_fire_at_listed_times(self):
+        config = FaultConfig(
+            preemption=FixedPreemptions(times=(10.0, 20.0, 30.0)), min_survivors=1
+        )
+        engine, pool, injector = bare_injector(config)
+        engine.run()
+        assert injector.stats.preemptions == 3
+        assert pool.n_alive == 1
+
+    def test_fixed_preemptions_suppressed_at_survivor_floor(self):
+        config = FaultConfig(
+            preemption=FixedPreemptions(times=(10.0, 20.0, 30.0)), min_survivors=3
+        )
+        engine, pool, injector = bare_injector(config, n_workers=4)
+        engine.run()
+        assert injector.stats.preemptions == 1
+        assert injector.stats.suppressed == 2
+        assert pool.n_alive == 3
+
+    def test_trace_preemptions_name_their_victims(self):
+        config = FaultConfig(
+            preemption=TracePreemptions(events=((5.0, 2), (6.0, 2), (7.0, 99)))
+        )
+        engine, pool, injector = bare_injector(config)
+        engine.run()
+        assert injector.stats.preemptions == 1     # worker 2, once
+        assert injector.stats.suppressed == 2      # already gone + unknown id
+        assert sorted(w.worker_id for w in pool.alive_workers()) == [0, 1, 3]
+
+    def test_poisson_preemptions_deterministic_per_seed(self):
+        def run(seed):
+            config = FaultConfig(
+                preemption=PoissonPreemptions(rate=1 / 20.0), seed=seed
+            )
+            engine, pool, injector = bare_injector(config, n_workers=6)
+            engine.run(until=200.0)
+            return injector.stats.preemptions, sorted(
+                w.worker_id for w in pool.alive_workers()
+            )
+        assert run(7) == run(7)
+        assert run(7)[0] > 0
+
+    def test_poisson_until_bounds_the_process(self):
+        config = FaultConfig(
+            preemption=PoissonPreemptions(rate=1 / 5.0, until=30.0), seed=0
+        )
+        engine, pool, injector = bare_injector(config, n_workers=50)
+        engine.run(until=10_000.0)
+        assert engine.pending_events == 0  # the process stopped itself
+        assert pool.n_alive >= 44  # only ~30s of a rate-1/5 process
+
+    def test_stop_halts_fault_processes(self):
+        config = FaultConfig(preemption=PoissonPreemptions(rate=1 / 5.0), seed=0)
+        engine, pool, injector = bare_injector(config, n_workers=50)
+        engine.run(until=20.0)
+        injector.stop()
+        engine.run()  # must drain: stopped processes do not re-arm
+        assert engine.pending_events == 0
+
+
+class TestEndToEndFaults:
+    def test_preempted_tasks_requeue_and_complete(self):
+        faults = FaultConfig(
+            preemption=FixedPreemptions(times=(30.0, 70.0)), seed=0
+        )
+        manager = WorkflowManager(make_workflow(20), sim_config(faults))
+        result = manager.run()
+        assert result.n_tasks == 20
+        assert result.fault_stats.preemptions == 2
+        assert result.workers_left == 2
+        assert result.n_evicted_attempts > 0
+        evicted = [
+            a
+            for t in manager.tasks()
+            for a in t.attempts
+            if a.outcome is AttemptOutcome.EVICTED
+        ]
+        assert evicted and all(a.runtime >= 0 for a in evicted)
+
+    def test_mid_task_kills_account_as_evictions(self):
+        faults = FaultConfig(kills=TaskKillConfig(rate=1 / 30.0), seed=3)
+        manager = WorkflowManager(make_workflow(20, duration=120.0), sim_config(faults))
+        result = manager.run()
+        assert result.fault_stats.task_kills > 0
+        assert result.n_evicted_attempts == result.fault_stats.task_kills
+        # kills do not remove workers
+        assert result.workers_left == 0
+        assert manager.pool.n_alive == 4
+
+    def test_kill_immunity_cap_respected(self):
+        faults = FaultConfig(
+            kills=TaskKillConfig(rate=1.0, max_kills_per_task=2), seed=3
+        )
+        manager = WorkflowManager(make_workflow(4, duration=50.0), sim_config(faults))
+        result = manager.run()
+        for task in manager.tasks():
+            assert task.n_evicted_attempts <= 2
+        assert result.n_tasks == 4
+
+    def test_dispatch_faults_retry_with_backoff_and_complete(self):
+        faults = FaultConfig(
+            dispatch=DispatchFaultConfig(probability=0.5, backoff=3.0), seed=9
+        )
+        manager = WorkflowManager(make_workflow(15), sim_config(faults))
+        result = manager.run()
+        assert result.fault_stats.dispatch_faults > 0
+        assert result.n_tasks == 15
+        # a dispatch fault is not an attempt: no capacity was ever held
+        assert result.n_attempts == sum(t.n_attempts for t in manager.tasks())
+
+    def test_degradation_evicts_and_still_completes(self):
+        faults = FaultConfig(
+            degradation=DegradationConfig(rate=1 / 20.0, factor=0.5, floor_fraction=0.25),
+            seed=5,
+        )
+        manager = WorkflowManager(
+            make_workflow(20, duration=100.0, memory=4000.0),
+            sim_config(faults, algorithm="whole_machine"),
+        )
+        result = manager.run()
+        assert result.fault_stats.degradations > 0
+        assert result.n_tasks == 20
+        floor = capacity() * 0.25
+        for worker in manager.pool.alive_workers():
+            for res, value in worker.capacity.raw.items():
+                assert value >= floor[res] - 1e-9
+
+    def test_protected_survivor_keeps_full_capacity(self):
+        faults = FaultConfig(
+            preemption=PoissonPreemptions(rate=1 / 10.0),
+            degradation=DegradationConfig(rate=1 / 10.0),
+            seed=11,
+            min_survivors=1,
+        )
+        manager = WorkflowManager(make_workflow(25, duration=90.0), sim_config(faults))
+        manager.run()
+        survivor = manager.pool.worker(0)
+        assert survivor.alive
+        assert survivor.capacity == capacity()
+
+    def test_fault_seed_replays_bit_identically(self):
+        from repro.sim.trace import TraceRecorder
+
+        def run():
+            faults = FaultConfig(
+                preemption=PoissonPreemptions(rate=1 / 40.0),
+                kills=TaskKillConfig(rate=1 / 50.0),
+                dispatch=DispatchFaultConfig(probability=0.2),
+                seed=42,
+            )
+            manager = WorkflowManager(make_workflow(25), sim_config(faults))
+            recorder = TraceRecorder(manager)
+            manager.run()
+            return recorder.text()
+
+        assert run() == run()
+
+    def test_fault_free_run_unperturbed_by_disabled_config(self):
+        """A FaultConfig with nothing enabled must not change the run."""
+        base = WorkflowManager(make_workflow(15), sim_config(None)).run()
+        noop = WorkflowManager(make_workflow(15), sim_config(FaultConfig())).run()
+        assert base.makespan == noop.makespan
+        assert base.n_attempts == noop.n_attempts
+
+
+class TestFaultProfiles:
+    def test_none_profile(self):
+        assert make_fault_config("none") is None
+
+    @pytest.mark.parametrize("profile", ["fixed", "poisson", "trace", "chaos"])
+    def test_named_profiles_build(self, profile):
+        config = make_fault_config(profile, seed=7)
+        assert config is not None and config.enabled
+        assert config.seed == 7
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            make_fault_config("meteor_strike")

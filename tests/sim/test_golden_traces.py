@@ -1,0 +1,114 @@
+"""Golden-trace regression tests: byte-identical simulation replay.
+
+Each scenario below is fully seeded; its canonical event trace is
+committed under ``tests/golden/``.  Any change to event ordering, float
+arithmetic, RNG consumption or fault scheduling shows up as a trace
+diff — deliberate behaviour changes must regenerate the goldens with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim/test_golden_traces.py
+
+and the diff reviewed like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig
+from repro.core.resources import ResourceVector
+from repro.sim.faults import FaultConfig, FixedPreemptions, make_fault_config
+from repro.sim.manager import SimulationConfig, WorkflowManager
+from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.sim.trace import TraceRecorder
+from repro.workflows.spec import TaskSpec, WorkflowSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def _workflow(n=12):
+    tasks = [
+        TaskSpec(
+            task_id=i,
+            category="proc" if i % 3 else "merge",
+            consumption=ResourceVector.of(
+                cores=1 + (i % 2), memory=600.0 + 150.0 * (i % 5), disk=100.0
+            ),
+            duration=40.0 + 7.0 * (i % 4),
+        )
+        for i in range(n)
+    ]
+    return WorkflowSpec("golden", tasks)
+
+
+def _config(faults=None, churn=None):
+    return SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm="quantized_bucketing",
+            seed=7,
+            exploratory=ExploratoryConfig(min_records=3),
+        ),
+        pool=PoolConfig(
+            n_workers=3,
+            capacity=ResourceVector.of(cores=8, memory=16000, disk=16000),
+            churn=churn if churn is not None else ChurnConfig(),
+            seed=11,
+        ),
+        faults=faults,
+    )
+
+
+def _trace(config) -> str:
+    manager = WorkflowManager(_workflow(), config)
+    recorder = TraceRecorder(manager)
+    manager.run()
+    return recorder.text()
+
+
+SCENARIOS = {
+    "baseline": lambda: _trace(_config()),
+    "fixed_preemption": lambda: _trace(
+        _config(
+            faults=FaultConfig(
+                preemption=FixedPreemptions(times=(45.0, 95.0)), seed=5
+            )
+        )
+    ),
+    "poisson_chaos": lambda: _trace(
+        _config(faults=make_fault_config("chaos", rate=1 / 90.0, seed=5))
+    ),
+    "churny_pool": lambda: _trace(
+        _config(
+            churn=ChurnConfig(
+                mean_lifetime=120.0,
+                mean_interarrival=60.0,
+                min_workers=2,
+                max_workers=5,
+            )
+        )
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name):
+    trace = SCENARIOS[name]()
+    path = GOLDEN_DIR / f"{name}.trace"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(trace)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path}; run with REGEN_GOLDEN=1 to create it"
+    )
+    golden = path.read_text()
+    assert trace == golden, (
+        f"trace for scenario {name!r} diverged from {path.name} "
+        f"({len(trace.splitlines())} vs {len(golden.splitlines())} events); "
+        "if the change is intentional, regenerate with REGEN_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_replays_identically_in_process(name):
+    """Two back-to-back runs of the same scenario are byte-identical."""
+    assert SCENARIOS[name]() == SCENARIOS[name]()

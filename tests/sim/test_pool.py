@@ -138,3 +138,110 @@ class TestChurn:
         pool.stop()
         engine.run()  # must drain despite the recurring arrival events
         assert engine.pending_events == 0
+
+
+class TestFloorLivelock:
+    """Regression: with arrivals disabled, suppressed departures used to
+    re-arm forever and a bare ``engine.run()`` never drained."""
+
+    def test_pinned_at_floor_draws_no_lifetime(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(
+            engine,
+            PoolConfig(
+                n_workers=1,
+                capacity=tiny_capacity(),
+                churn=ChurnConfig(mean_lifetime=10.0, min_workers=1),
+                seed=3,
+            ),
+        )
+        # No departure event should even be scheduled: the sole worker
+        # can never leave, so drawing a lifetime would only livelock.
+        assert engine.pending_events == 0
+        engine.run(max_events=1000)
+        assert pool.n_alive == 1
+
+    def test_suppressed_departure_does_not_rearm_without_arrivals(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(
+            engine,
+            PoolConfig(
+                n_workers=3,
+                capacity=tiny_capacity(),
+                churn=ChurnConfig(mean_lifetime=10.0, min_workers=2),
+                seed=3,
+            ),
+        )
+        engine.run(max_events=1000)  # raises if departures re-arm forever
+        assert engine.pending_events == 0
+        assert pool.n_alive == 2
+
+    def test_rearm_still_happens_when_arrivals_enabled(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(
+            engine,
+            PoolConfig(
+                n_workers=2,
+                capacity=tiny_capacity(),
+                churn=ChurnConfig(
+                    mean_lifetime=15.0, mean_interarrival=10.0, min_workers=2, max_workers=4
+                ),
+                seed=6,
+            ),
+        )
+        engine.run(until=300.0)
+        pool.stop()
+        engine.run()
+        # With arrivals on, the population keeps turning over at the floor.
+        assert pool.total_left > 0
+        assert pool.n_alive >= 2
+
+
+class TestFaultHooks:
+    def test_preempt_worker_bypasses_floor_and_evicts(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(
+            engine,
+            PoolConfig(
+                n_workers=2,
+                capacity=tiny_capacity(),
+                churn=ChurnConfig(min_workers=2),
+            ),
+        )
+        seen = []
+        pool.on_worker_leaving = lambda worker, evicted: seen.append(
+            (worker.worker_id, dict(evicted))
+        )
+        alloc = ResourceVector.of(cores=1, memory=100, disk=100)
+        pool.worker(0).place(7, alloc)
+        assert pool.preempt_worker(0)
+        assert pool.n_alive == 1  # floor does not protect against faults
+        assert pool.total_left == 1
+        assert seen == [(0, {7: alloc})]
+        assert not pool.preempt_worker(0)  # already gone
+        assert not pool.preempt_worker(99)  # unknown
+
+    def test_degrade_worker_shrinks_and_evicts_newest_first(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(engine, PoolConfig(n_workers=1, capacity=tiny_capacity()))
+        seen = []
+        pool.on_worker_degraded = lambda worker, evicted: seen.append(
+            (worker.worker_id, tuple(evicted))
+        )
+        worker = pool.worker(0)
+        alloc = ResourceVector.of(cores=2, memory=1000, disk=100)
+        worker.place(1, alloc)
+        worker.place(2, alloc)
+        half = tiny_capacity() * 0.5
+        assert pool.degrade_worker(0, half)
+        # 4 cores at half capacity == 2 cores: only the older task fits.
+        assert worker.capacity == half
+        assert worker.running_task_ids == (1,)
+        assert seen == [(0, (2,))]
+        assert not pool.degrade_worker(99, half)
+
+    def test_degrade_cannot_grow_capacity(self):
+        engine = SimulationEngine()
+        pool = WorkerPool(engine, PoolConfig(n_workers=1, capacity=tiny_capacity()))
+        with pytest.raises(ValueError):
+            pool.worker(0).degrade(tiny_capacity() * 2.0)
