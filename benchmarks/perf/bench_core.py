@@ -164,9 +164,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     doc = run_suite(quick=args.quick, repeats=args.repeats)
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    # Atomic replace: a benchmark run killed mid-write must not leave a
+    # torn BENCH_core.json for the regression checker to trip over.
+    from repro.checkpoint import write_text_atomic
+
+    write_text_atomic(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
     width = max(len(k) for k in doc["metrics"])
     for key in sorted(doc["metrics"]):

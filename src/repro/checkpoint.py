@@ -1,0 +1,534 @@
+"""Crash-safe checkpointing: atomic writes, versioned snapshots, resume.
+
+Production resource managers treat predictor/scheduler state as durable,
+restartable state; this module gives the reproduction the same property
+across its three layers:
+
+* **Durable allocator state** — every algorithm and the
+  :class:`~repro.core.allocator.TaskOrientedAllocator` expose
+  ``state_dict()`` / ``load_state()`` built on the JSON-safe primitives
+  here.  Serialization is *bit-exact*: float64 values round-trip through
+  JSON's shortest-repr float encoding, prefix-sum buffers are stored
+  verbatim (never recomputed, which would change rounding), and RNG
+  states are captured via ``Generator.bit_generator.state``.
+* **Resumable simulations** — the event queue holds closures and cannot
+  be pickled, so a simulation snapshot is *replay-based*: it records how
+  many engine events have been processed plus verification digests
+  (trace hash, allocator state hash, pool/fault RNG states).  Resuming
+  rebuilds the manager from its config, replays exactly that many events
+  (the engine is deterministic, so the rebuilt state is bit-identical),
+  verifies every digest, and continues.  A mismatch means the config or
+  code changed and the checkpoint is refused rather than silently
+  diverging.
+* **Graceful shutdown** — :class:`GracefulShutdown` converts SIGINT /
+  SIGTERM into a flag the :class:`SimulationCheckpointer` observes after
+  every event: it writes one final snapshot, flushes atomically, and
+  raises :class:`SimulationInterrupted` so the caller can exit cleanly
+  with ``128 + signum``.
+
+This module deliberately imports nothing from ``repro`` at module scope
+(the core layer imports it), keeping the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal as _signal
+import tempfile
+import threading
+import time as _time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "SimulationInterrupted",
+    "GridInterrupted",
+    "write_text_atomic",
+    "write_json_atomic",
+    "append_jsonl",
+    "read_jsonl",
+    "canonical_json",
+    "state_digest",
+    "generator_state",
+    "restore_generator",
+    "save_checkpoint",
+    "load_checkpoint",
+    "GracefulShutdown",
+    "SimulationCheckpointer",
+]
+
+#: Version of the on-disk checkpoint envelope.  Bumped on any change to
+#: the payload schemas; loaders refuse versions they do not understand.
+FORMAT_VERSION = 1
+
+#: Magic identifying repro checkpoint files.
+MAGIC = "repro-checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or verified."""
+
+
+class SimulationInterrupted(RuntimeError):
+    """A shutdown signal arrived mid-simulation; a snapshot was written.
+
+    Attributes
+    ----------
+    path:
+        Where the final snapshot landed.
+    signum:
+        The signal that triggered the shutdown (``None`` for a manual
+        trip, e.g. in tests).
+    """
+
+    def __init__(self, path: str, signum: Optional[int]) -> None:
+        super().__init__(f"simulation interrupted (signal {signum}); snapshot at {path}")
+        self.path = path
+        self.signum = signum
+
+
+class GridInterrupted(RuntimeError):
+    """A shutdown signal arrived mid-grid; completed cells are journaled.
+
+    Attributes
+    ----------
+    signum:
+        The triggering signal (``None`` for a manual trip).
+    completed:
+        Number of cells durably journaled before the interrupt.
+    """
+
+    def __init__(self, signum: Optional[int], completed: int) -> None:
+        super().__init__(
+            f"grid interrupted (signal {signum}) after {completed} journaled "
+            "cells; relaunch with --resume to continue"
+        )
+        self.signum = signum
+        self.completed = completed
+
+
+# ---------------------------------------------------------------------------
+# Atomic IO
+# ---------------------------------------------------------------------------
+
+
+def write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + os.replace).
+
+    A crash at any point leaves either the old file or the new one —
+    never a torn mix.  The temp file lives in the target's directory so
+    the final ``os.replace`` stays on one filesystem.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_json_atomic(path: str, doc: Any) -> None:
+    """Atomically write ``doc`` as JSON (exact float round-trip)."""
+    write_text_atomic(path, json.dumps(doc, indent=None, separators=(",", ":")))
+
+
+def append_jsonl(path: str, doc: Any) -> None:
+    """Append one JSON line durably (write + flush + fsync).
+
+    The classic write-ahead-log append: a crash can tear at most the
+    *final* line, which :func:`read_jsonl` tolerates and drops.
+    """
+    line = json.dumps(doc, indent=None, separators=(",", ":"))
+    if "\n" in line:  # pragma: no cover - json never emits raw newlines
+        raise CheckpointError("journal documents must serialize to one line")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl(path: str) -> List[Any]:
+    """Read a JSONL journal, dropping a torn (crash-truncated) last line.
+
+    A malformed line anywhere *but* the end means real corruption and
+    raises :class:`CheckpointError`.
+    """
+    docs: List[Any] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    # A well-formed file ends with "\n", so the final split element is "".
+    while lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash mid-append; WAL semantics
+            raise CheckpointError(
+                f"corrupt journal {path!r}: malformed line {i + 1} of {len(lines)}"
+            ) from None
+    return docs
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing & RNG state
+# ---------------------------------------------------------------------------
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, tight separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def state_digest(obj: Any) -> str:
+    """sha256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def generator_state(gen) -> Dict[str, Any]:
+    """JSON-safe snapshot of a ``numpy.random.Generator``'s state."""
+    return _jsonify(gen.bit_generator.state)
+
+
+def restore_generator(gen, state: Dict[str, Any]) -> None:
+    """Restore a generator captured by :func:`generator_state` in place."""
+    current = gen.bit_generator.state
+    if state.get("bit_generator") != current.get("bit_generator"):
+        raise CheckpointError(
+            f"RNG kind mismatch: checkpoint has {state.get('bit_generator')!r}, "
+            f"generator is {current.get('bit_generator')!r}"
+        )
+    gen.bit_generator.state = state
+
+
+def _jsonify(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain JSON types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if hasattr(obj, "item") and not isinstance(obj, (str, bytes)):
+        try:
+            return _jsonify(obj.tolist())
+        except AttributeError:  # pragma: no cover - numpy scalars have tolist
+            return obj.item()
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Versioned checkpoint envelope
+# ---------------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, kind: str, payload: Dict[str, Any]) -> None:
+    """Atomically write one versioned checkpoint document."""
+    write_json_atomic(
+        path,
+        {
+            "magic": MAGIC,
+            "version": FORMAT_VERSION,
+            "kind": kind,
+            "payload": payload,
+        },
+    )
+
+
+def load_checkpoint(path: str, kind: Optional[str] = None) -> Tuple[str, Dict[str, Any]]:
+    """Read and validate a checkpoint envelope; returns (kind, payload)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("magic") != MAGIC:
+        raise CheckpointError(f"{path!r} is not a repro checkpoint")
+    version = doc.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    if kind is not None and doc.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {path!r} holds a {doc.get('kind')!r} snapshot, "
+            f"expected {kind!r}"
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path!r} has no payload")
+    return str(doc.get("kind")), payload
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+
+
+class GracefulShutdown:
+    """Context manager turning SIGINT/SIGTERM into a cooperative flag.
+
+    The first signal sets :attr:`triggered`; checkpoint-aware loops poll
+    it at safe points, write their snapshot, and unwind.  The previous
+    handlers are restored on the *first* signal, so a second Ctrl-C
+    terminates immediately (the operator's escape hatch), and again on
+    context exit.  Handler installation is skipped off the main thread
+    (Python forbids it) and with ``install=False`` (tests drive
+    :meth:`trip` directly).
+    """
+
+    SIGNALS = (_signal.SIGINT, _signal.SIGTERM)
+
+    def __init__(self, install: bool = True) -> None:
+        self._install = install
+        self._previous: Dict[int, Any] = {}
+        self.triggered = False
+        self.signum: Optional[int] = None
+
+    def __enter__(self) -> "GracefulShutdown":
+        if self._install and threading.current_thread() is threading.main_thread():
+            for signum in self.SIGNALS:
+                self._previous[signum] = _signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def _handle(self, signum, frame) -> None:
+        self.trip(signum)
+
+    def trip(self, signum: Optional[int] = None) -> None:
+        """Mark shutdown requested (signal handler and test hook)."""
+        self.triggered = True
+        self.signum = signum
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, previous in self._previous.items():
+            _signal.signal(signum, previous)
+        self._previous.clear()
+
+
+# ---------------------------------------------------------------------------
+# Simulation checkpointer
+# ---------------------------------------------------------------------------
+
+#: Payload kind of simulation snapshots.
+SIMULATION_KIND = "simulation"
+
+
+class SimulationCheckpointer:
+    """Periodic + on-signal snapshots of one running simulation.
+
+    Attach to a **freshly constructed** (not yet begun)
+    :class:`~repro.sim.manager.WorkflowManager`.  The checkpointer
+    subscribes to the manager's event stream (hashing every canonical
+    trace line incrementally) and to the engine's post-event hook, where
+    it enforces the snapshot policy:
+
+    * ``every_events=N`` — snapshot after every N-th processed engine
+      event (deterministic; tests and the bit-identical-resume proofs
+      use this);
+    * ``every_seconds=S`` — snapshot when S wall-clock seconds have
+      passed since the last one (the production knob);
+    * ``shutdown`` — a :class:`GracefulShutdown`; when tripped, one
+      final snapshot is written and :class:`SimulationInterrupted` is
+      raised out of the engine loop.
+
+    :meth:`resume` replays a snapshot against the fresh manager and
+    verifies bit-identity (clock, trace digest, allocator digest, RNG
+    states) before handing control back.
+    """
+
+    def __init__(
+        self,
+        manager,
+        path: str,
+        every_events: Optional[int] = None,
+        every_seconds: Optional[float] = None,
+        shutdown: Optional[GracefulShutdown] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if every_events is not None and every_events < 1:
+            raise ValueError(f"every_events must be >= 1, got {every_events}")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError(f"every_seconds must be > 0, got {every_seconds}")
+        self._manager = manager
+        self._path = path
+        self._every_events = every_events
+        self._every_seconds = every_seconds
+        self._shutdown = shutdown
+        self._extra = dict(extra) if extra else {}
+        self._hasher = hashlib.sha256()
+        self._trace_events = 0
+        self._last_wall = _time.monotonic()
+        self._replaying = False
+        self.snapshots_written = 0
+        manager.add_event_listener(self._on_sim_event)
+        manager.engine.add_listener(self._after_engine_event)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def trace_digest(self) -> str:
+        return self._hasher.hexdigest()
+
+    # -- hooks -----------------------------------------------------------------
+
+    def _on_sim_event(self, event) -> None:
+        from repro.sim.trace import format_event
+
+        self._hasher.update(format_event(event).encode("utf-8"))
+        self._hasher.update(b"\n")
+        self._trace_events += 1
+
+    def _after_engine_event(self) -> None:
+        if self._replaying:
+            return
+        if self._shutdown is not None and self._shutdown.triggered:
+            self.write()
+            raise SimulationInterrupted(self._path, self._shutdown.signum)
+        if (
+            self._every_events is not None
+            and self._manager.engine.events_processed % self._every_events == 0
+        ):
+            self.write()
+        elif self._every_seconds is not None:
+            now = _time.monotonic()
+            if now - self._last_wall >= self._every_seconds:
+                self.write()
+
+    # -- snapshot --------------------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """The snapshot document for the manager's current state."""
+        manager = self._manager
+        engine = manager.engine
+        doc: Dict[str, Any] = {
+            "events": engine.events_processed,
+            "now": engine.now,
+            "workflow": manager.workflow.name,
+            "n_tasks": len(manager.workflow),
+            "algorithm": manager.algorithm_label,
+            "completed": manager.completed_tasks,
+            "trace_events": self._trace_events,
+            "trace_digest": self.trace_digest,
+            "allocator_digest": state_digest(manager.allocator.state_dict()),
+            "pool_rng": manager.pool.rng_state(),
+            "fault_rng": (
+                manager.faults.rng_state() if manager.faults is not None else None
+            ),
+        }
+        doc.update(self._extra)
+        return doc
+
+    def write(self) -> str:
+        """Write one snapshot atomically; returns the path."""
+        save_checkpoint(self._path, SIMULATION_KIND, self.payload())
+        self.snapshots_written += 1
+        self._last_wall = _time.monotonic()
+        return self._path
+
+    # -- resume ----------------------------------------------------------------
+
+    def resume(self, payload: Dict[str, Any]) -> bool:
+        """Replay ``payload`` against the fresh manager and verify it.
+
+        Returns ``True`` if the replay already completed the workflow
+        (the snapshot landed after the last event).  Raises
+        :class:`CheckpointError` on any divergence — a refused resume is
+        always safer than a silently wrong one.
+        """
+        manager = self._manager
+        if payload.get("workflow") != manager.workflow.name or payload.get(
+            "n_tasks"
+        ) != len(manager.workflow):
+            raise CheckpointError(
+                f"snapshot is for workflow {payload.get('workflow')!r} "
+                f"({payload.get('n_tasks')} tasks); manager runs "
+                f"{manager.workflow.name!r} ({len(manager.workflow)} tasks)"
+            )
+        if payload.get("algorithm") != manager.algorithm_label:
+            raise CheckpointError(
+                f"snapshot is for algorithm {payload.get('algorithm')!r}; "
+                f"manager runs {manager.algorithm_label!r}"
+            )
+        target = int(payload["events"])
+        self._replaying = True
+        try:
+            manager.begin()
+            done = manager.advance(stop_after_events=target)
+        finally:
+            self._replaying = False
+        self._verify(payload, target)
+        return done
+
+    def _verify(self, payload: Dict[str, Any], target: int) -> None:
+        manager = self._manager
+        engine = manager.engine
+        checks = [
+            ("events", engine.events_processed, target),
+            ("now", repr(engine.now), repr(float(payload["now"]))),
+            ("trace_events", self._trace_events, int(payload["trace_events"])),
+            ("trace_digest", self.trace_digest, payload["trace_digest"]),
+            (
+                "allocator_digest",
+                state_digest(manager.allocator.state_dict()),
+                payload["allocator_digest"],
+            ),
+            ("pool_rng", manager.pool.rng_state(), payload["pool_rng"]),
+            (
+                "fault_rng",
+                manager.faults.rng_state() if manager.faults is not None else None,
+                payload["fault_rng"],
+            ),
+        ]
+        for name, got, expected in checks:
+            if got != expected:
+                raise CheckpointError(
+                    f"resume verification failed on {name}: replay produced "
+                    f"{got!r}, snapshot recorded {expected!r} — the run is not "
+                    "bit-identical (config or code changed since the snapshot)"
+                )
+
+
+def resume_simulation_checkpoint(
+    manager,
+    path: str,
+    every_events: Optional[int] = None,
+    every_seconds: Optional[float] = None,
+    shutdown: Optional[GracefulShutdown] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Tuple["SimulationCheckpointer", bool]:
+    """Load ``path`` and resume ``manager`` from it.
+
+    Convenience wrapper: builds the checkpointer, loads the snapshot,
+    replays, verifies.  Returns ``(checkpointer, workflow_done)``.
+    """
+    _, payload = load_checkpoint(path, kind=SIMULATION_KIND)
+    checkpointer = SimulationCheckpointer(
+        manager,
+        path,
+        every_events=every_events,
+        every_seconds=every_seconds,
+        shutdown=shutdown,
+        extra=extra,
+    )
+    done = checkpointer.resume(payload)
+    return checkpointer, done

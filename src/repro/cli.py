@@ -18,9 +18,11 @@ Each command prints the reproduced rows/series as plain text.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
+from repro.checkpoint import GracefulShutdown, GridInterrupted, write_text_atomic
 from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1
 from repro.experiments import ablation, convergence, hybrid_study, robustness, scaling
 from repro.experiments.config import ExperimentConfig
@@ -86,6 +88,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed of the fault schedule (same seed => same faults, "
         "bit-identical replay)",
     )
+    parser.add_argument(
+        "--fault-trace",
+        metavar="LOG",
+        default=None,
+        help="HTCondor user log whose eviction (004) events drive the "
+        "'trace' fault profile (requires --faults trace)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed grid cells and snapshot the running "
+        "simulation here (figure5/figure6); enables --resume after a "
+        "crash or SIGINT/SIGTERM",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="wall-clock seconds between in-cell snapshots (default 30)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint-dir instead of starting fresh; "
+        "the resumed run is bit-identical to an uninterrupted one",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the rendered text to FILE (atomic replace)",
+    )
     parser.add_argument("--verbose", action="store_true", help="print per-cell progress")
     return parser
 
@@ -97,8 +132,28 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         workflow_seed=args.seed,
         ramp_up_seconds=args.ramp_up,
         faults=make_fault_config(
-            args.faults, rate=args.fault_rate, seed=args.fault_seed
+            args.faults,
+            rate=args.fault_rate,
+            seed=args.fault_seed,
+            trace_file=args.fault_trace,
         ),
+    )
+
+
+def _durable(config: ExperimentConfig, args: argparse.Namespace, target: str) -> ExperimentConfig:
+    """Attach the checkpoint knobs for one grid target.
+
+    Each target gets its own subdirectory of ``--checkpoint-dir`` so
+    ``all`` never mixes journals with different grid digests.
+    """
+    if args.checkpoint_dir is None:
+        return config
+    import os
+
+    return config.with_(
+        checkpoint_dir=os.path.join(args.checkpoint_dir, target),
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
     )
 
 
@@ -110,40 +165,74 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
+    rendered: List[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        rendered.append(text)
+
+    shutdown = GracefulShutdown()
+    try:
+        with shutdown:
+            _run_targets(targets, args, config, shutdown, emit)
+    except GridInterrupted as exc:
+        print(
+            f"\n[repro] {exc}\n[repro] resume with: repro-experiments "
+            f"{args.experiment} --checkpoint-dir {args.checkpoint_dir} --resume "
+            "(plus your original options)",
+            file=sys.stderr,
+        )
+        return 128 + (exc.signum if exc.signum is not None else signal.SIGTERM)
+    if args.out is not None:
+        write_text_atomic(args.out, "\n".join(rendered) + "\n")
+    return 0
+
+
+def _run_targets(targets, args, config, shutdown, emit) -> None:
     for target in targets:
         if target == "figure2":
-            print(figure2.render(figure2.run(seed=args.seed)))
+            emit(figure2.render(figure2.run(seed=args.seed)))
         elif target == "figure3":
-            print(figure3.render(figure3.run(seed=args.seed)))
+            emit(figure3.render(figure3.run(seed=args.seed)))
         elif target == "figure4":
-            print(figure4.render(figure4.run(n_tasks=args.tasks, seed=args.seed)))
+            emit(figure4.render(figure4.run(n_tasks=args.tasks, seed=args.seed)))
         elif target == "figure5":
-            print(
+            emit(
                 figure5.render(
-                    figure5.run(config=config, verbose=args.verbose, jobs=args.jobs)
+                    figure5.run(
+                        config=_durable(config, args, target),
+                        verbose=args.verbose,
+                        jobs=args.jobs,
+                        shutdown=shutdown,
+                    )
                 )
             )
         elif target == "figure6":
-            print(
+            emit(
                 figure6.render(
-                    figure6.run(config=config, verbose=args.verbose, jobs=args.jobs)
+                    figure6.run(
+                        config=_durable(config, args, target),
+                        verbose=args.verbose,
+                        jobs=args.jobs,
+                        shutdown=shutdown,
+                    )
                 )
             )
         elif target == "table1":
-            print(table1.render(table1.run()))
+            emit(table1.render(table1.run()))
         elif target == "scaling":
             counts = [c for c in (500, 1000, 2000, 5000, 10000) if c <= args.tasks] or [args.tasks]
-            print(scaling.render(scaling.run(task_counts=counts, config=config.with_(n_tasks=1000))))
+            emit(scaling.render(scaling.run(task_counts=counts, config=config.with_(n_tasks=1000))))
         elif target == "ablation":
-            print(ablation.render(ablation.run(config)))
+            emit(ablation.render(ablation.run(config)))
         elif target == "hybrid":
-            print(hybrid_study.render(hybrid_study.run(config)))
+            emit(hybrid_study.render(hybrid_study.run(config)))
         elif target == "robustness":
             if args.faults != "none":
                 # Compare the chosen fault profile against the
                 # fault-free baseline; the config's own faults field is
                 # overridden per profile inside the sweep.
-                print(
+                emit(
                     robustness.render_fault_sweep(
                         robustness.run_fault_sweep(
                             config.with_(faults=None),
@@ -154,11 +243,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                 )
             else:
-                print(robustness.render_seed_sweep(robustness.run_seed_sweep(config)))
+                emit(robustness.render_seed_sweep(robustness.run_seed_sweep(config)))
         elif target == "convergence":
-            print(convergence.render(convergence.run(config)))
+            emit(convergence.render(convergence.run(config)))
         print()
-    return 0
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.checkpoint import CheckpointError, generator_state, restore_generator
 from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm, make_algorithm
 from repro.core.significance import SignificancePolicy, make_significance_policy
 from repro.core.resources import (
@@ -448,6 +449,77 @@ class TaskOrientedAllocator:
     def reset(self) -> None:
         """Forget every category's state (between experiment repeats)."""
         self._categories.clear()
+        self._prediction_cache.clear()
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Versioned, JSON-safe snapshot of all mutable allocator state.
+
+        Captures the master RNG, every category's per-resource algorithm
+        instances (in category insertion order — the order in which they
+        consumed child seeds from the master RNG), and the deterministic
+        prediction cache.  Restoring via :meth:`load_state` on a freshly
+        constructed allocator with the same config yields bit-identical
+        predictions for every future request.
+        """
+        return {
+            "algorithm": self._config.algorithm,
+            "resources": [res.key for res in self._config.resources],
+            "rng": generator_state(self._rng),
+            "categories": {
+                category: {
+                    "completed_records": state.completed_records,
+                    "version": state.version,
+                    "algorithms": {
+                        res.key: state.algorithms[res].state_dict()
+                        for res in self._config.resources
+                    },
+                }
+                for category, state in self._categories.items()
+            },
+            "prediction_cache": {
+                category: {"version": version, "vector": vector.state_dict()}
+                for category, (version, vector) in self._prediction_cache.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        Must be called on an allocator built from the *same config* as
+        the one that produced the snapshot.  Categories are recreated in
+        their saved insertion order — ``_state`` draws each algorithm's
+        child seed from the master RNG exactly as the original did —
+        and the master RNG is overwritten last, so subsequent draws
+        continue the original stream.
+        """
+        if state.get("algorithm") != self._config.algorithm:
+            raise CheckpointError(
+                f"allocator snapshot is for algorithm {state.get('algorithm')!r}; "
+                f"this allocator runs {self._config.algorithm!r}"
+            )
+        managed = [res.key for res in self._config.resources]
+        if state.get("resources") != managed:
+            raise CheckpointError(
+                f"allocator snapshot manages resources {state.get('resources')!r}; "
+                f"this allocator manages {managed!r}"
+            )
+        self._categories.clear()
+        self._prediction_cache.clear()
+        for category, saved in state["categories"].items():
+            cat_state = self._state(category)
+            cat_state.completed_records = int(saved["completed_records"])
+            cat_state.version = int(saved["version"])
+            algorithms = saved["algorithms"]
+            for res in self._config.resources:
+                cat_state.algorithms[res].load_state(algorithms[res.key])
+        restore_generator(self._rng, state["rng"])
+        for category, cached in state["prediction_cache"].items():
+            self._prediction_cache[category] = (
+                int(cached["version"]),
+                ResourceVector.from_state(cached["vector"]),
+            )
 
     def __repr__(self) -> str:
         return (

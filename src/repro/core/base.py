@@ -26,6 +26,7 @@ from typing import Callable, ClassVar, Dict, Optional, Type
 
 import numpy as np
 
+from repro.checkpoint import CheckpointError, generator_state, restore_generator
 from repro.core.buckets import BucketState
 from repro.core.records import RecordList, ResourceRecord
 
@@ -106,6 +107,43 @@ class AllocationAlgorithm(abc.ABC):
     def reset(self) -> None:
         """Forget all ingested records (used between experiment repeats)."""
         raise NotImplementedError
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of this instance (see :mod:`repro.checkpoint`).
+
+        The envelope (algorithm name + RNG state) lives here; everything
+        algorithm-specific comes from :meth:`_extra_state`.
+        """
+        return {
+            "algorithm": self.name,
+            "rng": generator_state(self._rng),
+            "state": self._extra_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`, bit-exactly."""
+        if state.get("algorithm") != self.name:
+            raise CheckpointError(
+                f"algorithm mismatch: snapshot is {state.get('algorithm')!r}, "
+                f"instance is {self.name!r}"
+            )
+        restore_generator(self._rng, state["rng"])
+        self._load_extra_state(state["state"])
+
+    def _extra_state(self) -> dict:
+        """Algorithm-specific mutable state; subclasses must override."""
+        raise CheckpointError(
+            f"{type(self).__name__} does not support checkpointing "
+            "(no _extra_state implementation)"
+        )
+
+    def _load_extra_state(self, state: dict) -> None:
+        raise CheckpointError(
+            f"{type(self).__name__} does not support checkpointing "
+            "(no _load_extra_state implementation)"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(records={self.n_records})"
@@ -272,6 +310,43 @@ class BucketingAlgorithm(AllocationAlgorithm):
         self._reanchors = 0
         self._updates_since_recompute = 0
         self._cached_break_values = None
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        # The cached partition is serialized verbatim (it may be stale
+        # relative to the records when `_dirty` — the lazy-recompute
+        # window), and the recompute/re-anchor counters come along so a
+        # restored instance takes the exact same recompute-vs-reanchor
+        # decisions an uninterrupted run would.
+        return {
+            "records": self._records.state_dict(),
+            "dirty": self._dirty,
+            "recomputations": self._recomputations,
+            "reanchors": self._reanchors,
+            "updates_since_recompute": self._updates_since_recompute,
+            "cached_break_values": (
+                None
+                if self._cached_break_values is None
+                else self._cached_break_values.tolist()
+            ),
+            "bucket_state": (
+                None if self._state is None else self._state.state_dict()
+            ),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._records = RecordList.from_state(state["records"])
+        self._dirty = bool(state["dirty"])
+        self._recomputations = int(state["recomputations"])
+        self._reanchors = int(state["reanchors"])
+        self._updates_since_recompute = int(state["updates_since_recompute"])
+        cached = state["cached_break_values"]
+        self._cached_break_values = (
+            None if cached is None else np.asarray(cached, dtype=np.float64)
+        )
+        saved = state["bucket_state"]
+        self._state = None if saved is None else BucketState.from_state(saved)
 
 
 # ---------------------------------------------------------------------------

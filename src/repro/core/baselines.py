@@ -75,6 +75,12 @@ class WholeMachine(AllocationAlgorithm):
     def reset(self) -> None:
         self._n_records = 0
 
+    def _extra_state(self) -> dict:
+        return {"n_records": self._n_records}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._n_records = int(state["n_records"])
+
 
 @register_algorithm
 class MaxSeen(AllocationAlgorithm):
@@ -135,3 +141,11 @@ class MaxSeen(AllocationAlgorithm):
     def reset(self) -> None:
         self._max_seen = None
         self._n_records = 0
+
+    def _extra_state(self) -> dict:
+        return {"max_seen": self._max_seen, "n_records": self._n_records}
+
+    def _load_extra_state(self, state: dict) -> None:
+        max_seen = state["max_seen"]
+        self._max_seen = None if max_seen is None else float(max_seen)
+        self._n_records = int(state["n_records"])

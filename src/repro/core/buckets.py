@@ -138,6 +138,44 @@ class BucketState:
         """The trivial state with one bucket containing every record."""
         return BucketState(records, [len(records) - 1])
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (see :mod:`repro.checkpoint`).
+
+        The derived arrays are stored verbatim rather than rebuilt from
+        break indices on restore: the state may be *stale* relative to a
+        grown record list (the lazy recompute path of
+        :class:`~repro.core.base.BucketingAlgorithm`), and recomputation
+        would also re-round the probability normalization.
+        """
+        return {
+            "buckets": [
+                [b.lo, b.hi, b.rep, b.prob, b.estimate] for b in self._buckets
+            ],
+            "cumprobs": self._cumprobs.tolist(),
+            "n_records": self._n_records,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BucketState":
+        """Rebuild a state captured by :meth:`state_dict`, bit-exactly."""
+        new = cls.__new__(cls)
+        buckets = tuple(
+            Bucket(
+                lo=int(lo), hi=int(hi), rep=float(rep), prob=float(prob),
+                estimate=float(est),
+            )
+            for lo, hi, rep, prob, est in state["buckets"]
+        )
+        new._buckets = buckets
+        new._reps = np.array([b.rep for b in buckets], dtype=np.float64)
+        new._probs = np.array([b.prob for b in buckets], dtype=np.float64)
+        new._estimates = np.array([b.estimate for b in buckets], dtype=np.float64)
+        new._cumprobs = np.asarray(state["cumprobs"], dtype=np.float64)
+        new._n_records = int(state["n_records"])
+        return new
+
     # -- inspection -------------------------------------------------------------
 
     @property

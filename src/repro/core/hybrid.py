@@ -104,3 +104,18 @@ class HybridBucketing(AllocationAlgorithm):
         self._initial.reset()
         self._primary.reset()
         self._n_records = 0
+
+    def _extra_state(self) -> dict:
+        # Both children share this instance's RNG object, so their
+        # envelopes capture the same generator state; restoring it
+        # (three times, identically) is idempotent and exact.
+        return {
+            "initial": self._initial.state_dict(),
+            "primary": self._primary.state_dict(),
+            "n_records": self._n_records,
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._initial.load_state(state["initial"])
+        self._primary.load_state(state["primary"])
+        self._n_records = int(state["n_records"])

@@ -141,3 +141,12 @@ class KMeansBucketing(AllocationAlgorithm):
     def reset(self) -> None:
         self._records = RecordList()
         self._reps = None
+
+    def _extra_state(self) -> dict:
+        # Lloyd's algorithm here is deterministic in the sorted values,
+        # so the reps cache is dropped and lazily rebuilt after restore.
+        return {"records": self._records.state_dict()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._records = RecordList.from_state(state["records"])
+        self._reps = None

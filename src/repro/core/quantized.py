@@ -119,3 +119,12 @@ class QuantizedBucketing(AllocationAlgorithm):
     def reset(self) -> None:
         self._records = RecordList()
         self._reps = None
+
+    def _extra_state(self) -> dict:
+        # _reps is a pure function of the records (deterministic quantile
+        # lookup), so the cache is simply dropped and lazily rebuilt.
+        return {"records": self._records.state_dict()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._records = RecordList.from_state(state["records"])
+        self._reps = None

@@ -387,3 +387,50 @@ class RecordList:
     def snapshot(self) -> Tuple[ResourceRecord, ...]:
         """An immutable copy of the current records, in value order."""
         return tuple(self._record_at(i) for i in range(self._n))
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot for checkpointing (see :mod:`repro.checkpoint`).
+
+        The prefix-sum buffers are stored **verbatim**, not recomputed on
+        restore: the incremental suffix-add maintenance in :meth:`_insert`
+        rounds differently from ``np.cumsum``, so a recomputation would
+        break the bit-identical-resume guarantee.  Python's JSON encoder
+        uses ``repr`` (shortest round-trip) for floats, so every float64
+        survives exactly.
+        """
+        n = self._n
+        return {
+            "capacity": self._capacity,
+            "values": self._values_buf[:n].tolist(),
+            "significances": self._sigs_buf[:n].tolist(),
+            "task_ids": self._tids_buf[:n].tolist(),
+            "sig_prefix": self._sp_buf[:n].tolist(),
+            "sigval_prefix": self._svp_buf[:n].tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RecordList":
+        """Rebuild a list captured by :meth:`state_dict`, bit-exactly."""
+        values = state["values"]
+        n = len(values)
+        if not all(
+            len(state[k]) == n
+            for k in ("significances", "task_ids", "sig_prefix", "sigval_prefix")
+        ):
+            raise ValueError("inconsistent RecordList state: array lengths differ")
+        new = cls(capacity=state["capacity"])
+        size = max(_MIN_BUFFER, n)
+        if new._values_buf.size < size:
+            for name in ("_values_buf", "_sigs_buf", "_tids_buf", "_sp_buf", "_svp_buf"):
+                old = getattr(new, name)
+                setattr(new, name, np.empty(size, dtype=old.dtype))
+        new._values_buf[:n] = np.asarray(values, dtype=np.float64)
+        new._sigs_buf[:n] = np.asarray(state["significances"], dtype=np.float64)
+        new._tids_buf[:n] = np.asarray(state["task_ids"], dtype=np.int64)
+        new._sp_buf[:n] = np.asarray(state["sig_prefix"], dtype=np.float64)
+        new._svp_buf[:n] = np.asarray(state["sigval_prefix"], dtype=np.float64)
+        new._n = n
+        new._invalidate()
+        return new

@@ -191,6 +191,17 @@ class ResourceVector(Mapping[Resource, float]):
         """
         return self._data
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, float]:
+        """JSON-safe form keyed by resource key (exact float round-trip)."""
+        return {res.key: value for res, value in self._data.items()}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, float]) -> "ResourceVector":
+        """Rebuild a vector captured by :meth:`state_dict`."""
+        return cls({RESOURCES.get(key): float(value) for key, value in state.items()})
+
     # -- algebra -----------------------------------------------------------
 
     def _resources_union(self, other: "ResourceVector") -> Tuple[Resource, ...]:

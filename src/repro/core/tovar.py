@@ -136,6 +136,19 @@ class TovarJobSizing(AllocationAlgorithm):
         self._cached = None
         self._dirty = True
 
+    def _extra_state(self) -> dict:
+        return {
+            "records": self._records.state_dict(),
+            "cached": self._cached,
+            "dirty": self._dirty,
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._records = RecordList.from_state(state["records"])
+        cached = state["cached"]
+        self._cached = None if cached is None else float(cached)
+        self._dirty = bool(state["dirty"])
+
 
 @register_algorithm
 class MinWaste(TovarJobSizing):

@@ -51,6 +51,14 @@ def run_attempt_in_child(
     traceback string (``error``).
     """
     try:
+        # Lead a fresh session/process group so the parent can kill the
+        # whole tree (``os.killpg``) — a task that spawned its own
+        # subprocesses must not leave orphans when its attempt is
+        # terminated.  Refused only when already a group leader.
+        try:
+            os.setsid()
+        except OSError:
+            pass
         if memory_limit_mb > 0:
             limit_bytes = int(memory_limit_mb * MB)
             # Soft and hard both set: a malloc beyond this raises

@@ -110,6 +110,11 @@ class LocalExecutorConfig:
         Safety bound per task; exceeded -> the task is reported failed
         (a real system must not retry forever on a genuinely impossible
         limit).
+    attempt_timeout_s:
+        Hard wall-clock ceiling per attempt, independent of the managed
+        TIME allocation.  A hung task (deadlock, endless IO wait) is
+        killed — whole process group — and reported as an error rather
+        than wedging an executor thread forever.  ``None`` disables it.
     """
 
     capacity: ResourceVector = field(
@@ -118,12 +123,44 @@ class LocalExecutorConfig:
     max_concurrency: int = 4
     manage_time: bool = False
     max_attempts: int = 12
+    attempt_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive (or None)")
+
+
+def _kill_process_tree(process) -> None:
+    """SIGKILL an attempt process and everything in its process group.
+
+    The child called ``os.setsid()`` at entry, so its group id equals
+    its pid and ``killpg`` reaps any grandchildren it spawned.  If the
+    group is already gone (or was never created), fall back to killing
+    the process alone.  Always joins, so no zombie is left behind.
+    """
+    import os as _os
+    import signal as _signal
+
+    pid = process.pid
+    try:
+        pgid = _os.getpgid(pid)
+        if pgid != _os.getpgid(0):
+            _os.killpg(pgid, _signal.SIGKILL)
+        else:  # pragma: no cover - setsid failed; never kill our own group
+            process.kill()
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    process.join(timeout=5.0)
+    if process.is_alive():  # pragma: no cover - unkillable (D-state) child
+        process.terminate()
+        process.join(timeout=1.0)
 
 
 class _CapacityGate:
@@ -193,6 +230,10 @@ class LocalExecutor:
         self._mp = multiprocessing.get_context("fork")
         self._lock = threading.Lock()
         self._task_counter = 0
+        #: Attempt processes currently alive, for orphan reaping: if a
+        #: batch unwinds abnormally (exception, interpreter shutdown),
+        #: ``run()`` force-kills whatever is still registered here.
+        self._active: Dict[int, Any] = {}
 
     @property
     def allocator(self) -> TaskOrientedAllocator:
@@ -201,12 +242,28 @@ class LocalExecutor:
     # -- public API ----------------------------------------------------------------
 
     def run(self, tasks: Sequence[LocalTask]) -> List[ExecutionReport]:
-        """Execute a batch; returns reports in input order."""
+        """Execute a batch; returns reports in input order.
+
+        On any exit — normal or exceptional — every attempt process
+        that is still alive is killed (by process group), so no child
+        outlives the batch that spawned it.
+        """
         if not tasks:
             return []
-        with ThreadPoolExecutor(max_workers=self._config.max_concurrency) as pool:
-            futures = [pool.submit(self._run_task, task) for task in tasks]
-            return [future.result() for future in futures]
+        try:
+            with ThreadPoolExecutor(max_workers=self._config.max_concurrency) as pool:
+                futures = [pool.submit(self._run_task, task) for task in tasks]
+                return [future.result() for future in futures]
+        finally:
+            self._reap_orphans()
+
+    def _reap_orphans(self) -> None:
+        with self._lock:
+            leftovers = list(self._active.values())
+            self._active.clear()
+        for process in leftovers:
+            if process.is_alive():
+                _kill_process_tree(process)
 
     def map(self, category: str, fn: Callable, items: Sequence) -> List[ExecutionReport]:
         """Convenience: one task per item, ``fn(item)`` each."""
@@ -292,22 +349,51 @@ class LocalExecutor:
         started = time.perf_counter()
         process.start()
         child_conn.close()
+        with self._lock:
+            self._active[process.pid] = process
 
         time_limit = allocation[TIME] if self._config.manage_time else None
-        process.join(timeout=time_limit)
-        if process.is_alive():
-            # Wall-time exhaustion: the parent enforces the limit.
-            process.terminate()
-            process.join()
-            runtime = time.perf_counter() - started
-            parent_conn.close()
-            return LocalAttempt(
-                index=index,
-                allocation=allocation,
-                runtime_s=runtime,
-                outcome="time_exhausted",
-                peak_memory_mb=0.0,
-            )
+        hard_limit = self._config.attempt_timeout_s
+        deadline = min(
+            (lim for lim in (time_limit, hard_limit) if lim is not None),
+            default=None,
+        )
+        try:
+            process.join(timeout=deadline)
+            if process.is_alive():
+                # The child (and anything it spawned) is killed by
+                # process group; a survivor here is a hung or runaway
+                # task, so SIGKILL, not a polite terminate.
+                _kill_process_tree(process)
+                runtime = time.perf_counter() - started
+                parent_conn.close()
+                if time_limit is not None and deadline == time_limit:
+                    # Wall-time exhaustion: the parent enforces the
+                    # managed TIME allocation; the task may retry with a
+                    # larger one.
+                    return LocalAttempt(
+                        index=index,
+                        allocation=allocation,
+                        runtime_s=runtime,
+                        outcome="time_exhausted",
+                        peak_memory_mb=0.0,
+                    )
+                attempt = LocalAttempt(
+                    index=index,
+                    allocation=allocation,
+                    runtime_s=runtime,
+                    outcome="error",
+                    peak_memory_mb=0.0,
+                )
+                object.__setattr__(
+                    attempt,
+                    "_error",
+                    f"attempt exceeded the {hard_limit}s wall-clock timeout",
+                )
+                return attempt
+        finally:
+            with self._lock:
+                self._active.pop(process.pid, None)
         runtime = time.perf_counter() - started
 
         status, peak_mb, cpu_s, payload = "error", 0.0, 0.0, "child died without reporting"

@@ -81,6 +81,19 @@ class ExperimentConfig:
     #: every cell built from this config, so whole grids can be swept
     #: under identical adversity.
     faults: Optional[FaultConfig] = None
+    #: Directory for crash-safe grid state (the completed-cell journal
+    #: and the in-flight simulation snapshot).  ``None`` disables
+    #: durability; see :mod:`repro.checkpoint`.
+    checkpoint_dir: Optional[str] = None
+    #: Wall-clock seconds between in-cell simulation snapshots.
+    checkpoint_interval: float = 30.0
+    #: Snapshot every N engine events instead of on a wall-clock timer
+    #: (deterministic; used by the bit-identical resume tests).
+    checkpoint_every_events: Optional[int] = None
+    #: Continue from the journal/snapshot in ``checkpoint_dir`` instead
+    #: of starting fresh.  Requires the journal to match this config
+    #: (grid digest) — a mismatch is refused, never silently rerun.
+    resume: bool = False
 
     def simulation_config(self, algorithm: str, **allocator_overrides) -> SimulationConfig:
         return SimulationConfig(

@@ -66,6 +66,7 @@ def run(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     verbose: bool = False,
     jobs: int = 1,
+    shutdown=None,
 ) -> Figure5Result:
     """Execute the AWE grid (the expensive one: 49 simulations).
 
@@ -78,6 +79,7 @@ def run(
         config=config,
         verbose=verbose,
         jobs=jobs,
+        shutdown=shutdown,
     )
     return Figure5Result(grid=grid)
 

@@ -80,6 +80,7 @@ def run(
     algorithms: Sequence[str] = FIGURE6_ALGORITHMS,
     verbose: bool = False,
     jobs: int = 1,
+    shutdown=None,
 ) -> Figure6Result:
     """Execute the waste-decomposition grid (42 simulations).
 
@@ -92,6 +93,7 @@ def run(
         config=config,
         verbose=verbose,
         jobs=jobs,
+        shutdown=shutdown,
     )
     return Figure6Result(grid=grid)
 

@@ -6,15 +6,40 @@ in-process (``jobs=1``, the default) or across a spawn-based
 each builds its workflow and allocator from the shared
 :class:`~repro.experiments.config.ExperimentConfig` seeds — so the
 parallel path is bit-identical to the serial one, cell for cell.
+
+Crash safety (``config.checkpoint_dir``): completed cells are journaled
+to a write-ahead ``journal.jsonl`` (header + one line per cell result)
+and — in the serial path — the in-flight cell is snapshotted
+periodically and on SIGINT/SIGTERM to ``inflight.json``.  Relaunching
+with ``config.resume=True`` skips the journaled cells, resumes the
+interrupted cell mid-simulation (replay-verified, bit-identical; see
+:mod:`repro.checkpoint`), and produces exactly the results an
+uninterrupted run would have.  The journal is bound to a digest of the
+grid definition, so a checkpoint directory can never silently feed a
+different experiment.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.checkpoint import (
+    CheckpointError,
+    GracefulShutdown,
+    GridInterrupted,
+    SimulationCheckpointer,
+    SimulationInterrupted,
+    SIMULATION_KIND,
+    append_jsonl,
+    load_checkpoint,
+    read_jsonl,
+    state_digest,
+    write_text_atomic,
+)
 from repro.experiments.config import (
     ExperimentConfig,
     PAPER_ALGORITHMS,
@@ -25,7 +50,13 @@ from repro.metrics.summary import EfficiencySummary, summarize_result
 from repro.sim.manager import SimulationResult, WorkflowManager
 from repro.workflows.spec import WorkflowSpec
 
-__all__ = ["run_cell", "run_grid", "GridResult"]
+__all__ = ["run_cell", "run_grid", "GridResult", "grid_digest"]
+
+#: Journal header kind; the first line of every ``journal.jsonl``.
+_JOURNAL_KIND = "grid-journal"
+_JOURNAL_VERSION = 1
+_JOURNAL_NAME = "journal.jsonl"
+_INFLIGHT_NAME = "inflight.json"
 
 
 def run_cell(
@@ -84,6 +115,147 @@ class GridResult:
         )
 
 
+def grid_digest(
+    workflows: Sequence[str],
+    algorithms: Sequence[str],
+    config: ExperimentConfig,
+) -> str:
+    """Digest binding a journal to one grid definition.
+
+    Covers everything that determines the results — the cell list and
+    every simulation-relevant config field — and deliberately excludes
+    the checkpoint plumbing (``checkpoint_dir``, intervals, ``resume``),
+    which may legitimately differ between the interrupted run and its
+    relaunch.
+    """
+    return state_digest(
+        {
+            "workflows": list(workflows),
+            "algorithms": list(algorithms),
+            "n_workers": config.n_workers,
+            "ramp_up_seconds": config.ramp_up_seconds,
+            "n_tasks": config.n_tasks,
+            "workflow_seed": config.workflow_seed,
+            "allocator_seed": config.allocator_seed,
+            "pool_seed": config.pool_seed,
+            "profile": _stable_repr(config.profile),
+            "max_outstanding": config.max_outstanding,
+            "faults": _stable_repr(config.faults),
+        }
+    )
+
+
+def _stable_repr(obj: Any) -> str:
+    """Process-independent canonical form for config sub-objects.
+
+    Dataclass reprs are already deterministic; plain objects (e.g. the
+    consumption profiles) fall back to class name + sorted instance
+    attributes, never the default ``object.__repr__`` (whose memory
+    address would change every process and break resume digests).
+    """
+    import dataclasses
+
+    if obj is None or dataclasses.is_dataclass(obj):
+        return repr(obj)
+    attrs = ",".join(
+        f"{name}={_stable_repr(value) if not isinstance(value, (int, float, str, bool)) else value!r}"
+        for name, value in sorted(vars(obj).items())
+    )
+    return f"{type(obj).__qualname__}({attrs})"
+
+
+class _GridJournal:
+    """Write-ahead journal of completed grid cells.
+
+    Line 1 is a header binding the file to a grid digest; every further
+    line is one completed cell's full :class:`SimulationResult` state.
+    Appends are fsynced, so a crash tears at most the final line (which
+    the reader drops — that cell simply reruns).
+    """
+
+    def __init__(self, directory: str, digest: str) -> None:
+        self._dir = directory
+        self._digest = digest
+        self.journal_path = os.path.join(directory, _JOURNAL_NAME)
+        self.inflight_path = os.path.join(directory, _INFLIGHT_NAME)
+
+    def start_fresh(self) -> None:
+        os.makedirs(self._dir, exist_ok=True)
+        write_text_atomic(
+            self.journal_path,
+            _one_line(
+                {"kind": _JOURNAL_KIND, "version": _JOURNAL_VERSION, "digest": self._digest}
+            ),
+        )
+        self._remove_inflight()
+
+    def exists(self) -> bool:
+        return os.path.exists(self.journal_path)
+
+    def load_completed(self) -> Dict[Tuple[str, str], SimulationResult]:
+        """Validate the header and replay the journaled cell results."""
+        rows = read_jsonl(self.journal_path)
+        if not rows or rows[0].get("kind") != _JOURNAL_KIND:
+            raise CheckpointError(f"{self.journal_path!r} is not a grid journal")
+        if rows[0].get("version") != _JOURNAL_VERSION:
+            raise CheckpointError(
+                f"grid journal {self.journal_path!r} has version "
+                f"{rows[0].get('version')!r}; this build reads {_JOURNAL_VERSION}"
+            )
+        if rows[0].get("digest") != self._digest:
+            raise CheckpointError(
+                "grid journal belongs to a different experiment (digest "
+                "mismatch) — refusing to mix results; point --checkpoint-dir "
+                "at a fresh directory or drop --resume"
+            )
+        completed: Dict[Tuple[str, str], SimulationResult] = {}
+        for row in rows[1:]:
+            key = (row["workflow"], row["algorithm"])
+            completed[key] = SimulationResult.from_state(row["result"])
+        # Rewrite minus any torn tail, so future appends start on a
+        # clean line boundary.
+        write_text_atomic(
+            self.journal_path,
+            "".join(_one_line(row) for row in rows),
+        )
+        return completed
+
+    def record(self, key: Tuple[str, str], result: SimulationResult) -> None:
+        append_jsonl(
+            self.journal_path,
+            {"workflow": key[0], "algorithm": key[1], "result": result.state_dict()},
+        )
+        # The cell the inflight snapshot belonged to is now journaled
+        # (or superseded); drop it so resume never replays a stale one.
+        self._remove_inflight()
+
+    def load_inflight(self, key: Tuple[str, str]) -> Optional[Dict[str, Any]]:
+        """The interrupted cell's snapshot payload, if it is ``key``'s."""
+        if not os.path.exists(self.inflight_path):
+            return None
+        _, payload = load_checkpoint(self.inflight_path, kind=SIMULATION_KIND)
+        if payload.get("cell") != [key[0], key[1]]:
+            return None
+        if payload.get("grid_digest") != self._digest:
+            raise CheckpointError(
+                "in-flight snapshot belongs to a different experiment "
+                "(digest mismatch) — refusing to resume from it"
+            )
+        return payload
+
+    def _remove_inflight(self) -> None:
+        try:
+            os.unlink(self.inflight_path)
+        except FileNotFoundError:
+            pass
+
+
+def _one_line(doc: Any) -> str:
+    import json
+
+    return json.dumps(doc, indent=None, separators=(",", ":")) + "\n"
+
+
 def _run_grid_cell(
     wf_name: str, algorithm: str, config: ExperimentConfig
 ) -> SimulationResult:
@@ -107,6 +279,7 @@ def run_grid(
     config: Optional[ExperimentConfig] = None,
     verbose: bool = False,
     jobs: int = 1,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> GridResult:
     """Run the full evaluation grid (Figures 5 and 6 share it).
 
@@ -118,41 +291,157 @@ def run_grid(
     using the ``spawn`` start method (safe under any threading model);
     ``jobs=1`` keeps everything serial in-process.  Results are
     identical cell for cell regardless of ``jobs``.
+
+    With ``config.checkpoint_dir`` set, completed cells are journaled
+    as they finish and (serial path only) the running cell is
+    snapshotted periodically; ``shutdown`` — a
+    :class:`~repro.checkpoint.GracefulShutdown` — turns SIGINT/SIGTERM
+    into a final snapshot plus :class:`~repro.checkpoint.GridInterrupted`.
+    ``config.resume=True`` continues such a run bit-identically.
     """
     config = config if config is not None else ExperimentConfig()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     keys = [(wf, algo) for wf in workflows for algo in algorithms]
+
+    journal: Optional[_GridJournal] = None
+    completed: Dict[Tuple[str, str], SimulationResult] = {}
+    if config.checkpoint_dir is not None:
+        journal = _GridJournal(
+            config.checkpoint_dir, grid_digest(workflows, algorithms, config)
+        )
+        if config.resume and journal.exists():
+            completed = journal.load_completed()
+        else:
+            # resume with no journal yet = fresh start; this is what a
+            # relaunch of ``all --resume`` hits for the targets the
+            # interrupted run never reached.
+            journal.start_fresh()
+    elif config.resume:
+        raise CheckpointError("resume=True requires checkpoint_dir to be set")
+
     cells: Dict[Tuple[str, str], SimulationResult] = {}
     if jobs == 1:
-        for wf_name in workflows:
-            workflow = make_workflow(
-                wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
-            )
-            for algorithm in algorithms:
-                manager = WorkflowManager(
-                    workflow, _simulation_config(config, algorithm, {})
-                )
-                cells[wf_name, algorithm] = manager.run()
-                if verbose:
-                    _print_cell(wf_name, algorithm, cells[wf_name, algorithm])
+        _run_serial(
+            keys, workflows, algorithms, config, cells, completed,
+            journal, shutdown, verbose,
+        )
     else:
-        ctx = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            futures = {
-                key: pool.submit(_run_grid_cell, key[0], key[1], config)
-                for key in keys
-            }
-            for key in keys:
-                cells[key] = futures[key].result()
-                if verbose:
-                    _print_cell(key[0], key[1], cells[key])
+        _run_parallel(keys, config, cells, completed, journal, shutdown, verbose, jobs)
     return GridResult(
         config=config,
         workflows=tuple(workflows),
         algorithms=tuple(algorithms),
         cells=cells,
     )
+
+
+def _check_shutdown(shutdown: Optional[GracefulShutdown], journaled: int) -> None:
+    if shutdown is not None and shutdown.triggered:
+        raise GridInterrupted(shutdown.signum, journaled)
+
+
+def _run_serial(
+    keys: List[Tuple[str, str]],
+    workflows: Sequence[str],
+    algorithms: Sequence[str],
+    config: ExperimentConfig,
+    cells: Dict[Tuple[str, str], SimulationResult],
+    completed: Dict[Tuple[str, str], SimulationResult],
+    journal: Optional[_GridJournal],
+    shutdown: Optional[GracefulShutdown],
+    verbose: bool,
+) -> None:
+    workflow_cache: Dict[str, WorkflowSpec] = {}
+    for key in keys:
+        wf_name, algorithm = key
+        if key in completed:
+            cells[key] = completed[key]
+            continue
+        _check_shutdown(shutdown, len(cells))
+        if wf_name not in workflow_cache:
+            workflow_cache[wf_name] = make_workflow(
+                wf_name, n_tasks=config.n_tasks, seed=config.workflow_seed
+            )
+        manager = WorkflowManager(
+            workflow_cache[wf_name], _simulation_config(config, algorithm, {})
+        )
+        if journal is not None:
+            checkpointer = SimulationCheckpointer(
+                manager,
+                journal.inflight_path,
+                every_events=config.checkpoint_every_events,
+                every_seconds=(
+                    config.checkpoint_interval
+                    if config.checkpoint_every_events is None
+                    else None
+                ),
+                shutdown=shutdown,
+                extra={
+                    "cell": [wf_name, algorithm],
+                    "grid_digest": journal._digest,
+                },
+            )
+            inflight = journal.load_inflight(key) if config.resume else None
+            try:
+                if inflight is not None:
+                    checkpointer.resume(inflight)
+                else:
+                    manager.begin()
+                manager.advance()
+            except SimulationInterrupted as exc:
+                raise GridInterrupted(exc.signum, len(cells)) from exc
+            result = manager.finish()
+        else:
+            result = manager.run()
+        cells[key] = result
+        if journal is not None:
+            journal.record(key, result)
+        if verbose:
+            _print_cell(wf_name, algorithm, result)
+
+
+def _run_parallel(
+    keys: List[Tuple[str, str]],
+    config: ExperimentConfig,
+    cells: Dict[Tuple[str, str], SimulationResult],
+    completed: Dict[Tuple[str, str], SimulationResult],
+    journal: Optional[_GridJournal],
+    shutdown: Optional[GracefulShutdown],
+    verbose: bool,
+    jobs: int,
+) -> None:
+    """Parallel path: durability is at cell granularity.
+
+    Cells live in worker processes, so there are no in-cell snapshots;
+    an interrupt journals every cell whose result has already been
+    collected and cancels the not-yet-started ones.  A resumed run
+    reruns only the cells that never made it into the journal.
+    """
+    for key in keys:
+        if key in completed:
+            cells[key] = completed[key]
+    pending = [key for key in keys if key not in completed]
+    if not pending:
+        return
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        futures = {
+            key: pool.submit(_run_grid_cell, key[0], key[1], config)
+            for key in pending
+        }
+        try:
+            for key in pending:
+                _check_shutdown(shutdown, len(cells))
+                cells[key] = futures[key].result()
+                if journal is not None:
+                    journal.record(key, cells[key])
+                if verbose:
+                    _print_cell(key[0], key[1], cells[key])
+        except GridInterrupted:
+            for future in futures.values():
+                future.cancel()
+            raise
 
 
 def _print_cell(wf_name: str, algorithm: str, result: SimulationResult) -> None:

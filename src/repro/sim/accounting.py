@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.resources import TIME, Resource, ResourceVector
+from repro.core.resources import RESOURCES, TIME, Resource, ResourceVector
 from repro.sim.task import Attempt, AttemptOutcome, SimTask
 
 __all__ = ["WasteBreakdown", "TaskUsage", "Ledger"]
@@ -235,6 +235,99 @@ class Ledger:
             allocated += usage.allocation[resource]
             series.append(consumed / allocated if allocated > 0 else 0.0)
         return series
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of every accumulator (exact floats).
+
+        Resources are stored by key; :meth:`from_state` resolves them
+        back through the registry, so restored ledgers answer every
+        query (AWE, waste, per-category, series) bit-identically.
+        """
+        def by_key(mapping: Mapping[Resource, float]) -> Dict[str, float]:
+            return {res.key: value for res, value in mapping.items()}
+
+        def waste_by_key(mapping: Mapping[Resource, WasteBreakdown]) -> Dict[str, list]:
+            return {
+                res.key: [w.internal_fragmentation, w.failed_allocation, w.eviction]
+                for res, w in mapping.items()
+            }
+
+        return {
+            "resources": [res.key for res in self._resources],
+            "consumption": by_key(self._consumption),
+            "allocation": by_key(self._allocation),
+            "waste": waste_by_key(self._waste),
+            "by_category": {
+                cat: waste_by_key(per_res) for cat, per_res in self._by_category.items()
+            },
+            "category_consumption": {
+                cat: by_key(m) for cat, m in self._category_consumption.items()
+            },
+            "category_allocation": {
+                cat: by_key(m) for cat, m in self._category_allocation.items()
+            },
+            "tasks": [
+                {
+                    "task_id": usage.task_id,
+                    "category": usage.category,
+                    "consumption": by_key(usage.consumption),
+                    "allocation": by_key(usage.allocation),
+                    "n_failed_attempts": usage.n_failed_attempts,
+                    "n_evicted_attempts": usage.n_evicted_attempts,
+                }
+                for usage in self._tasks
+            ],
+            "n_attempts": self._n_attempts,
+            "n_failed": self._n_failed,
+            "n_evicted": self._n_evicted,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Ledger":
+        """Rebuild a ledger captured by :meth:`state_dict`."""
+        def by_res(mapping: Mapping[str, float]) -> Dict[Resource, float]:
+            return {RESOURCES.get(key): float(value) for key, value in mapping.items()}
+
+        def waste_by_res(mapping: Mapping[str, list]) -> Dict[Resource, WasteBreakdown]:
+            return {
+                RESOURCES.get(key): WasteBreakdown(
+                    internal_fragmentation=float(frag),
+                    failed_allocation=float(failed),
+                    eviction=float(evicted),
+                )
+                for key, (frag, failed, evicted) in mapping.items()
+            }
+
+        new = cls(tuple(RESOURCES.get(key) for key in state["resources"]))
+        new._consumption = by_res(state["consumption"])
+        new._allocation = by_res(state["allocation"])
+        new._waste = waste_by_res(state["waste"])
+        new._by_category = {
+            cat: waste_by_res(per_res) for cat, per_res in state["by_category"].items()
+        }
+        new._category_consumption = {
+            cat: by_res(m) for cat, m in state["category_consumption"].items()
+        }
+        new._category_allocation = {
+            cat: by_res(m) for cat, m in state["category_allocation"].items()
+        }
+        new._tasks = [
+            TaskUsage(
+                task_id=int(doc["task_id"]),
+                category=doc["category"],
+                consumption=by_res(doc["consumption"]),
+                allocation=by_res(doc["allocation"]),
+                n_failed_attempts=int(doc["n_failed_attempts"]),
+                n_evicted_attempts=int(doc["n_evicted_attempts"]),
+            )
+            for doc in state["tasks"]
+        ]
+        new._n_attempts = int(state["n_attempts"])
+        new._n_failed = int(state["n_failed"])
+        new._n_evicted = int(state["n_evicted"])
+        return new
 
     def identity_holds(self) -> bool:
         """Sanity identity: allocation = consumption + waste, per resource.

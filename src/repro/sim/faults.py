@@ -33,8 +33,10 @@ full-capacity workers survive the whole run.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +56,7 @@ __all__ = [
     "FaultInjector",
     "FAULT_PROFILES",
     "make_fault_config",
+    "parse_htcondor_eviction_log",
 ]
 
 
@@ -260,6 +263,12 @@ class FaultInjector:
     def config(self) -> FaultConfig:
         return self._config
 
+    def rng_state(self) -> dict:
+        """JSON-safe snapshot of the fault RNG (checkpointing)."""
+        from repro.checkpoint import generator_state
+
+        return generator_state(self._rng)
+
     def stop(self) -> None:
         """Stop generating fault events so the queue can drain."""
         self._stopped = True
@@ -396,12 +405,86 @@ class FaultInjector:
 #: fractions of it each fault class receives.
 FAULT_PROFILES: Tuple[str, ...] = ("none", "fixed", "poisson", "trace", "chaos")
 
+# HTCondor job event log header, e.g.
+#   ``004 (7858.000.000) 07/10 14:23:17 Job was evicted.``
+# Event code 004 is "Job was evicted"; everything else (submission,
+# execution, termination, image-size updates...) is ignored, as are the
+# indented detail lines and the ``...`` block terminators.
+_CONDOR_EVENT_RE = re.compile(
+    r"^(?P<code>\d{3})\s+"
+    r"\((?P<cluster>\d+)\.(?P<proc>\d+)\.(?P<sub>\d+)\)\s+"
+    r"(?P<month>\d{2})/(?P<day>\d{2})\s+"
+    r"(?P<hour>\d{2}):(?P<minute>\d{2}):(?P<second>\d{2})\b"
+)
+
+# Cumulative days before each month in a non-leap year; HTCondor user
+# logs carry no year, so day-of-year arithmetic is the best available.
+_DAYS_BEFORE_MONTH = (0, 0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+def parse_htcondor_eviction_log(
+    source: Union[str, Path, Iterable[str]],
+) -> TracePreemptions:
+    """Extract a preemption schedule from an HTCondor job event log.
+
+    Reads a standard HTCondor user log (the ``log = ...`` file of a
+    submit description), keeps the eviction events (code ``004``) and
+    maps them onto the simulator:
+
+    * **time** — seconds since the *first eviction* in the log (the
+      simulation clock starts at 0, not at wall-clock submission time);
+    * **worker id** — HTCondor job ids ``cluster.proc`` are assigned
+      simulator worker ids 0, 1, 2... in order of first appearance
+      among the evictions, matching the pool's spawn-order ids.
+
+    ``source`` is a path or an iterable of lines.  Raises
+    ``ValueError`` when the log contains no eviction or its timestamps
+    go backwards (a year rollover mid-log — out of scope for fixtures).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return parse_htcondor_eviction_log(list(handle))
+
+    raw: List[Tuple[float, Tuple[int, int]]] = []
+    for line in source:
+        match = _CONDOR_EVENT_RE.match(line)
+        if match is None or match.group("code") != "004":
+            continue
+        month = int(match.group("month"))
+        if not (1 <= month <= 12):
+            raise ValueError(f"bad month in eviction log line: {line.rstrip()!r}")
+        stamp = (
+            (_DAYS_BEFORE_MONTH[month] + int(match.group("day")) - 1) * 86400.0
+            + int(match.group("hour")) * 3600.0
+            + int(match.group("minute")) * 60.0
+            + int(match.group("second"))
+        )
+        job = (int(match.group("cluster")), int(match.group("proc")))
+        raw.append((stamp, job))
+
+    if not raw:
+        raise ValueError("eviction log contains no eviction (004) events")
+    origin = raw[0][0]
+    worker_ids: Dict[Tuple[int, int], int] = {}
+    events: List[Tuple[float, int]] = []
+    for stamp, job in raw:
+        if stamp < origin:
+            raise ValueError(
+                "eviction log timestamps go backwards (year rollover?); "
+                "split the log at the wrap"
+            )
+        if job not in worker_ids:
+            worker_ids[job] = len(worker_ids)
+        events.append((stamp - origin, worker_ids[job]))
+    return TracePreemptions(events=tuple(events))
+
 
 def make_fault_config(
     profile: str,
     rate: float = 1.0 / 600.0,
     seed: int = 0,
     min_survivors: int = 1,
+    trace_file: Optional[Union[str, Path]] = None,
 ) -> Optional[FaultConfig]:
     """Build one of the named fault profiles.
 
@@ -411,13 +494,22 @@ def make_fault_config(
         ``"none"`` (returns ``None``), ``"fixed"`` (six evenly spaced
         preemptions over the first hour), ``"poisson"`` (memoryless
         preemptions + mid-task kills + transient dispatch failures),
-        ``"trace"`` (a small built-in preemption trace — a stand-in for
-        replaying a real batch-system log), or ``"chaos"``
-        (everything, including capacity degradation).
+        ``"trace"`` (replay a preemption trace — an HTCondor eviction
+        log via ``trace_file``, or a small built-in schedule), or
+        ``"chaos"`` (everything, including capacity degradation).
     rate:
         Events per simulated second for the Poisson processes (default:
         one per ten minutes).
+    trace_file:
+        HTCondor user log parsed with
+        :func:`parse_htcondor_eviction_log`; only meaningful with the
+        ``"trace"`` profile (rejected elsewhere so a typo'd profile
+        cannot silently drop a real trace).
     """
+    if trace_file is not None and profile != "trace":
+        raise ValueError(
+            f"trace_file is only valid with the 'trace' profile, not {profile!r}"
+        )
     if profile == "none":
         return None
     if profile == "fixed":
@@ -437,10 +529,14 @@ def make_fault_config(
             min_survivors=min_survivors,
         )
     if profile == "trace":
-        return FaultConfig(
-            preemption=TracePreemptions(
+        if trace_file is not None:
+            preemption = parse_htcondor_eviction_log(trace_file)
+        else:
+            preemption = TracePreemptions(
                 events=((300.0, 1), (900.0, 2), (1500.0, 3), (2100.0, 1))
-            ),
+            )
+        return FaultConfig(
+            preemption=preemption,
             seed=seed,
             min_survivors=min_survivors,
         )

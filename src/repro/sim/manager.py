@@ -126,6 +126,48 @@ class SimulationResult:
             row[f"awe_{res.key}"] = round(self.ledger.awe(res), 4)
         return row
 
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (exact floats) for the grid-result journal.
+
+        ``wall_clock_seconds`` rides along for reporting but is the one
+        field that is *not* reproducible across runs; bit-identity
+        comparisons must exclude it.
+        """
+        return {
+            "workflow_name": self.workflow_name,
+            "algorithm": self.algorithm,
+            "ledger": self.ledger.state_dict(),
+            "makespan": self.makespan,
+            "n_tasks": self.n_tasks,
+            "n_attempts": self.n_attempts,
+            "n_failed_attempts": self.n_failed_attempts,
+            "n_evicted_attempts": self.n_evicted_attempts,
+            "workers_joined": self.workers_joined,
+            "workers_left": self.workers_left,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "fault_stats": dataclasses.asdict(self.fault_stats),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SimulationResult":
+        """Rebuild a result journaled by :meth:`state_dict`."""
+        return cls(
+            workflow_name=state["workflow_name"],
+            algorithm=state["algorithm"],
+            ledger=Ledger.from_state(state["ledger"]),
+            makespan=float(state["makespan"]),
+            n_tasks=int(state["n_tasks"]),
+            n_attempts=int(state["n_attempts"]),
+            n_failed_attempts=int(state["n_failed_attempts"]),
+            n_evicted_attempts=int(state["n_evicted_attempts"]),
+            workers_joined=int(state["workers_joined"]),
+            workers_left=int(state["workers_left"]),
+            wall_clock_seconds=float(state["wall_clock_seconds"]),
+            fault_stats=FaultStats(**state["fault_stats"]),
+        )
+
 
 class WorkflowManager:
     """Run one workflow against one allocator configuration."""
@@ -198,6 +240,7 @@ class WorkflowManager:
         self._next_to_submit = 0
         self._outstanding = 0
         self._ran = False
+        self._started_wall = 0.0
 
     # -- public API --------------------------------------------------------------
 
@@ -242,19 +285,54 @@ class WorkflowManager:
             for listener in self._event_listeners:
                 listener(event)
 
+    @property
+    def algorithm_label(self) -> str:
+        """The algorithm name reported in results ("oracle" in oracle mode)."""
+        return "oracle" if self._config.oracle else self._config.allocator.algorithm
+
+    @property
+    def completed_tasks(self) -> int:
+        return self._completed
+
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return the result."""
+        self.begin()
+        self.advance()
+        return self.finish()
+
+    def begin(self) -> None:
+        """Arm the simulation: submit the first tasks, schedule dispatch.
+
+        ``run()`` is ``begin(); advance(); finish()`` — the split exists
+        for the checkpoint/resume machinery, which needs to pause after a
+        bounded number of events (:meth:`advance` with
+        ``stop_after_events``) and to attach listeners before the first
+        event fires.
+        """
         if self._ran:
             raise RuntimeError("a WorkflowManager instance runs exactly once")
         self._ran = True
-        started = _time.perf_counter()
-
+        self._started_wall = _time.perf_counter()
         self._submit_more()
         self._engine.schedule(0.0, self._dispatch)
-        self._engine.run(
-            max_events=self._config.effective_max_events(len(self._workflow))
-        )
 
+    def advance(self, stop_after_events: Optional[int] = None) -> bool:
+        """Process events; returns True once the workflow has completed.
+
+        ``stop_after_events`` pauses the engine cleanly once its lifetime
+        event count reaches that value (checkpoint replay); ``None``
+        drains the queue.
+        """
+        if not self._ran:
+            raise RuntimeError("call begin() before advance()")
+        self._engine.run(
+            max_events=self._config.effective_max_events(len(self._workflow)),
+            stop_after_total=stop_after_events,
+        )
+        return self._completed == len(self._workflow)
+
+    def finish(self) -> SimulationResult:
+        """Validate the completed run and bundle the result."""
         if self._completed != len(self._workflow):
             raise RuntimeError(
                 f"simulation drained with {self._completed}/{len(self._workflow)} "
@@ -271,7 +349,7 @@ class WorkflowManager:
         self._emit("complete", tasks=self._completed, attempts=self._ledger.n_attempts)
         return SimulationResult(
             workflow_name=self._workflow.name,
-            algorithm="oracle" if self._config.oracle else self._config.allocator.algorithm,
+            algorithm=self.algorithm_label,
             ledger=self._ledger,
             makespan=makespan,
             n_tasks=len(self._workflow),
@@ -280,7 +358,7 @@ class WorkflowManager:
             n_evicted_attempts=self._ledger.n_evicted_attempts,
             workers_joined=self._pool.total_joined,
             workers_left=self._pool.total_left,
-            wall_clock_seconds=_time.perf_counter() - started,
+            wall_clock_seconds=_time.perf_counter() - self._started_wall,
             fault_stats=self._faults.stats if self._faults is not None else FaultStats(),
         )
 

@@ -173,3 +173,78 @@ class TestAwe:
     def test_awe_skips_failures(self):
         report = ExecutionReport(task_id=0, category="x", attempts=[])
         assert reports_awe([report], MEMORY) == 1.0
+
+
+def hang():
+    time.sleep(300)
+
+
+def hang_with_grandchild():
+    import subprocess
+
+    subprocess.Popen(["sleep", "300"])
+    time.sleep(300)
+
+
+def _live_sleeps():
+    """PIDs of non-zombie ``sleep`` processes (zombies are already dead,
+    merely awaiting reaping by init, and reap within milliseconds)."""
+    import subprocess
+
+    out = subprocess.run(
+        ["ps", "-eo", "pid,stat,comm"], capture_output=True, text=True
+    ).stdout
+    pids = []
+    for line in out.splitlines()[1:]:
+        fields = line.split()
+        if len(fields) >= 3 and fields[2] == "sleep" and not fields[1].startswith("Z"):
+            pids.append(int(fields[0]))
+    return pids
+
+
+class TestHangHardening:
+    def test_attempt_timeout_validation(self):
+        with pytest.raises(ValueError):
+            LocalExecutorConfig(attempt_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            LocalExecutorConfig(attempt_timeout_s=-1.0)
+        assert LocalExecutorConfig(attempt_timeout_s=None).attempt_timeout_s is None
+
+    def test_hung_task_killed_and_reported_as_error(self):
+        executor = LocalExecutor(small_config(attempt_timeout_s=0.5, max_attempts=3))
+        report = executor.run([LocalTask("hang", hang)])[0]
+        assert not report.succeeded
+        assert len(report.attempts) == 1  # a hang is an error, not a retry
+        assert report.attempts[0].outcome == "error"
+        assert "wall-clock timeout" in report.error
+        assert report.attempts[0].runtime_s < 5.0
+
+    def test_hang_kill_reaps_grandchildren(self):
+        """The process-group kill must take down everything the attempt
+        spawned — a leaked ``sleep 300`` would outlive the whole batch."""
+        before = set(_live_sleeps())
+        executor = LocalExecutor(small_config(attempt_timeout_s=0.8))
+        report = executor.run([LocalTask("hang", hang_with_grandchild)])[0]
+        assert report.attempts[0].outcome == "error"
+        time.sleep(0.3)  # give init a beat to reap the zombie
+        assert set(_live_sleeps()) - before == set()
+
+    def test_healthy_tasks_unaffected_by_timeout(self):
+        executor = LocalExecutor(small_config(attempt_timeout_s=30.0))
+        reports = executor.map("quick", quick, [5, 6])
+        assert [r.result for r in reports] == [10, 12]
+
+    def test_managed_time_exhaustion_still_retries(self):
+        """The hard hang guard must not hijack the managed-TIME path:
+        exceeding the TIME allocation stays a retryable exhaustion."""
+        config = LocalExecutorConfig(
+            max_concurrency=1, manage_time=True, attempt_timeout_s=60.0
+        )
+        executor = LocalExecutor(
+            config, allocator=fast_allocator(config, manage_time=True)
+        )
+        for task_id in range(2):  # bootstrap: two sub-second tasks
+            executor.run([LocalTask("sleepy", time.sleep, (0.1,))])
+        report = executor.run([LocalTask("sleepy", time.sleep, (1.0,))])[0]
+        assert report.succeeded
+        assert any(a.outcome == "time_exhausted" for a in report.attempts)

@@ -1,0 +1,213 @@
+"""Crash-safe grid runs: journaled cells, interrupt, bit-identical resume.
+
+The grid-level acceptance property: ``run_grid`` interrupted at an
+arbitrary point (between cells *or* mid-cell) and relaunched with
+``resume=True`` on the same checkpoint directory yields exactly the
+cells an uninterrupted run produces — compared on full result state,
+excluding only the non-reproducible ``wall_clock_seconds``.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import CheckpointError, GracefulShutdown, GridInterrupted, state_digest
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import grid_digest, run_cell, run_grid
+from repro.sim.manager import SimulationResult
+
+WORKFLOWS = ("bimodal", "uniform")
+ALGORITHMS = ("max_seen", "quantized_bucketing")
+
+
+def _config(**overrides):
+    return ExperimentConfig(
+        n_tasks=120, n_workers=6, ramp_up_seconds=60.0, **overrides
+    )
+
+
+def _comparable(result):
+    """Result state minus the one field that legitimately varies."""
+    state = result.state_dict()
+    state.pop("wall_clock_seconds")
+    return state
+
+
+def _assert_same_cells(resumed, reference):
+    assert set(resumed.cells) == set(reference.cells)
+    for key in reference.cells:
+        assert _comparable(resumed.cells[key]) == _comparable(reference.cells[key]), key
+
+
+class TripAfter(GracefulShutdown):
+    """A shutdown whose flag trips after N polls — deterministic interrupts.
+
+    ``triggered`` is polled by the checkpointer after every engine event
+    and by the grid loop before every cell, so ``after`` dials the
+    interrupt point anywhere from mid-first-cell to between-last-cells.
+    """
+
+    def __init__(self, after: int) -> None:
+        self._after = after
+        self._polls = 0
+        super().__init__(install=False)
+        self.signum = 15
+
+    @property
+    def triggered(self) -> bool:
+        self._polls += 1
+        return self._polls > self._after
+
+    @triggered.setter
+    def triggered(self, value) -> None:  # base __init__ assigns False
+        pass
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The uninterrupted grid every resume test compares against."""
+    return run_grid(WORKFLOWS, ALGORITHMS, config=_config())
+
+
+def test_simulation_result_state_round_trip():
+    result = run_cell("bimodal", "quantized_bucketing", config=_config())
+    state = json.loads(json.dumps(result.state_dict()))  # via-disk round trip
+    restored = SimulationResult.from_state(state)
+    assert state_digest(restored.state_dict()) == state_digest(state)
+    assert restored.summary() == result.summary()
+
+
+def test_completed_cells_are_journaled(tmp_path, reference):
+    checkpoint_dir = str(tmp_path / "ckpt")
+    result = run_grid(
+        WORKFLOWS, ALGORITHMS, config=_config(checkpoint_dir=checkpoint_dir)
+    )
+    _assert_same_cells(result, reference)
+    lines = (tmp_path / "ckpt" / "journal.jsonl").read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["kind"] == "grid-journal"
+    assert header["digest"] == grid_digest(WORKFLOWS, ALGORITHMS, _config())
+    assert len(lines) == 1 + len(WORKFLOWS) * len(ALGORITHMS)
+    # The in-flight snapshot never outlives its cell.
+    assert not (tmp_path / "ckpt" / "inflight.json").exists()
+
+
+@pytest.mark.parametrize("after", [25, 500])
+def test_interrupt_and_resume_is_bit_identical(after, tmp_path, reference):
+    """Mid-first-cell (25 polls) and mid-grid (~960 total) interrupts resume."""
+    checkpoint_dir = str(tmp_path / "ckpt")
+    with pytest.raises(GridInterrupted) as excinfo:
+        run_grid(
+            WORKFLOWS,
+            ALGORITHMS,
+            config=_config(checkpoint_dir=checkpoint_dir, checkpoint_every_events=50),
+            shutdown=TripAfter(after),
+        )
+    assert excinfo.value.signum == 15
+
+    resumed = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir, resume=True),
+    )
+    _assert_same_cells(resumed, reference)
+
+
+def test_mid_cell_interrupt_leaves_resumable_inflight(tmp_path, reference):
+    """An interrupt inside cell 1 snapshots it; resume replays, not reruns."""
+    checkpoint_dir = str(tmp_path / "ckpt")
+    with pytest.raises(GridInterrupted):
+        run_grid(
+            WORKFLOWS,
+            ALGORITHMS,
+            config=_config(checkpoint_dir=checkpoint_dir, checkpoint_every_events=50),
+            shutdown=TripAfter(10),
+        )
+    inflight = tmp_path / "ckpt" / "inflight.json"
+    assert inflight.exists()
+    payload = json.loads(inflight.read_text())["payload"]
+    assert payload["cell"] == [WORKFLOWS[0], ALGORITHMS[0]]
+
+    resumed = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir, resume=True),
+    )
+    _assert_same_cells(resumed, reference)
+
+
+def test_resume_skips_journaled_cells(tmp_path, monkeypatch, reference):
+    """A fully journaled grid resumes without running a single simulation."""
+    checkpoint_dir = str(tmp_path / "ckpt")
+    run_grid(WORKFLOWS, ALGORITHMS, config=_config(checkpoint_dir=checkpoint_dir))
+
+    import repro.experiments.runner as runner_module
+
+    def explode(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("resume recomputed a journaled cell")
+
+    monkeypatch.setattr(runner_module, "_simulation_config", explode)
+    resumed = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir, resume=True),
+    )
+    _assert_same_cells(resumed, reference)
+
+
+def test_parallel_path_journals_and_resumes(tmp_path, reference):
+    """jobs>1: cell-granularity durability, same journal, same results."""
+    checkpoint_dir = str(tmp_path / "ckpt")
+    result = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir),
+        jobs=2,
+    )
+    _assert_same_cells(result, reference)
+
+    # Drop the last journaled cell to fake an interrupt between cells;
+    # the parallel resume must rerun exactly that one and re-converge.
+    journal = tmp_path / "ckpt" / "journal.jsonl"
+    lines = journal.read_text().splitlines(keepends=True)
+    journal.write_text("".join(lines[:-1]))
+    resumed = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir, resume=True),
+        jobs=2,
+    )
+    _assert_same_cells(resumed, reference)
+
+
+def test_resume_refuses_different_experiment(tmp_path):
+    checkpoint_dir = str(tmp_path / "ckpt")
+    run_grid(WORKFLOWS, ALGORITHMS, config=_config(checkpoint_dir=checkpoint_dir))
+    other = dataclasses.replace(
+        _config(), n_tasks=60, checkpoint_dir=checkpoint_dir, resume=True
+    )
+    with pytest.raises(CheckpointError, match="different experiment"):
+        run_grid(WORKFLOWS, ALGORITHMS, config=other)
+
+
+def test_resume_requires_checkpoint_dir():
+    with pytest.raises(CheckpointError, match="requires checkpoint_dir"):
+        run_grid(WORKFLOWS, ALGORITHMS, config=_config(resume=True))
+
+
+def test_resume_with_empty_directory_is_fresh_start(tmp_path, reference):
+    """resume=True with no journal yet must behave as a fresh run.
+
+    This is what ``repro all --resume`` hits for every target the
+    interrupted run never reached.
+    """
+    checkpoint_dir = str(tmp_path / "never-started")
+    result = run_grid(
+        WORKFLOWS,
+        ALGORITHMS,
+        config=_config(checkpoint_dir=checkpoint_dir, resume=True),
+    )
+    _assert_same_cells(result, reference)
+    assert os.path.exists(os.path.join(checkpoint_dir, "journal.jsonl"))

@@ -1,6 +1,7 @@
 """Unit tests for the deterministic fault-injection subsystem."""
 
 import pytest
+from pathlib import Path
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
 from repro.core.resources import ResourceVector
@@ -15,6 +16,7 @@ from repro.sim.faults import (
     TaskKillConfig,
     TracePreemptions,
     make_fault_config,
+    parse_htcondor_eviction_log,
 )
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import PoolConfig, WorkerPool
@@ -272,3 +274,94 @@ class TestFaultProfiles:
     def test_unknown_profile_raises(self):
         with pytest.raises(KeyError):
             make_fault_config("meteor_strike")
+
+
+class TestHTCondorEvictionLog:
+    """Parsing a real batch-system user log into a preemption schedule."""
+
+    FIXTURE = (
+        Path(__file__).resolve().parents[2]
+        / "src"
+        / "repro"
+        / "sim"
+        / "data"
+        / "htcondor_evictions.log"
+    )
+
+    def test_fixture_parses_to_expected_schedule(self):
+        schedule = parse_htcondor_eviction_log(self.FIXTURE)
+        assert isinstance(schedule, TracePreemptions)
+        assert schedule.events == (
+            (0.0, 0),      # 7858.000: first eviction anchors the clock
+            (285.0, 1),    # 7858.001
+            (692.0, 2),    # 7858.002
+            (1338.0, 3),   # 7859.000: new cluster -> next worker id
+            (2076.0, 0),
+            (3187.0, 2),
+            (4109.0, 1),
+            (5521.0, 3),
+            (6952.0, 2),
+            (68593.0, 0),  # day rollover 07/10 -> 07/11 in the log
+        )
+
+    def test_accepts_iterable_of_lines(self):
+        lines = self.FIXTURE.read_text().splitlines()
+        assert parse_htcondor_eviction_log(lines) == parse_htcondor_eviction_log(
+            self.FIXTURE
+        )
+
+    def test_non_eviction_events_ignored(self):
+        lines = [
+            "000 (9000.000.000) 07/10 09:00:00 Job submitted from host: <10.0.0.1>",
+            "...",
+            "001 (9000.000.000) 07/10 09:00:05 Job executing on host: <10.0.0.2>",
+            "...",
+            "004 (9000.000.000) 07/10 09:10:05 Job was evicted.",
+            "\t(0) Job was not checkpointed.",
+            "...",
+        ]
+        schedule = parse_htcondor_eviction_log(lines)
+        assert schedule.events == ((0.0, 0),)
+
+    def test_no_evictions_raises(self):
+        lines = ["000 (9000.000.000) 07/10 09:00:00 Job submitted", "..."]
+        with pytest.raises(ValueError, match="no eviction"):
+            parse_htcondor_eviction_log(lines)
+
+    def test_backwards_timestamps_raise(self):
+        lines = [
+            "004 (9000.000.000) 07/10 09:10:05 Job was evicted.",
+            "...",
+            "004 (9000.001.000) 07/10 09:05:00 Job was evicted.",
+            "...",
+        ]
+        with pytest.raises(ValueError, match="go backwards"):
+            parse_htcondor_eviction_log(lines)
+
+    def test_trace_profile_consumes_the_log(self):
+        config = make_fault_config("trace", seed=3, trace_file=self.FIXTURE)
+        assert isinstance(config.preemption, TracePreemptions)
+        assert len(config.preemption.events) == 10
+
+    def test_trace_file_rejected_for_other_profiles(self):
+        with pytest.raises(ValueError, match="trace_file"):
+            make_fault_config("poisson", trace_file=self.FIXTURE)
+
+    def test_trace_file_simulation_completes_deterministically(self):
+        def run():
+            config = SimulationConfig(
+                allocator=AllocatorConfig(
+                    algorithm="quantized_bucketing",
+                    seed=2,
+                    exploratory=ExploratoryConfig(min_records=3),
+                ),
+                pool=PoolConfig(n_workers=4, capacity=capacity(), seed=6),
+                faults=make_fault_config("trace", seed=3, trace_file=self.FIXTURE),
+            )
+            manager = WorkflowManager(make_workflow(n=20), config)
+            return manager.run()
+
+        first, second = run(), run()
+        assert first.n_tasks == 20
+        assert first.n_evicted_attempts == second.n_evicted_attempts
+        assert repr(first.makespan) == repr(second.makespan)

@@ -95,7 +95,9 @@ def test_golden_trace(name):
     trace = SCENARIOS[name]()
     path = GOLDEN_DIR / f"{name}.trace"
     if os.environ.get("REGEN_GOLDEN"):
-        path.write_text(trace)
+        from repro.checkpoint import write_text_atomic
+
+        write_text_atomic(str(path), trace)
         pytest.skip(f"regenerated {path.name}")
     assert path.exists(), (
         f"missing golden file {path}; run with REGEN_GOLDEN=1 to create it"

@@ -1,0 +1,194 @@
+"""Bit-identical simulation resume: kill at event N, relaunch, compare.
+
+The acceptance property of the checkpoint subsystem: a simulation
+interrupted at an *arbitrary* engine event and resumed from its snapshot
+in a fresh manager produces a trace byte-for-byte equal to the
+uninterrupted run.  The scenarios are the golden-trace ones (baseline,
+fixed/poisson faults, churny pool) so the comparison target is the same
+canonical trace the regression suite pins.
+
+The canonical resume flow exercised throughout::
+
+    manager = WorkflowManager(workflow, config)      # fresh
+    recorder = TraceRecorder(manager)
+    cp, done = resume_simulation_checkpoint(manager, path)
+    manager.advance()        # ALWAYS drain: under churn the queue holds
+    manager.finish()         # worker events past workflow completion
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    GracefulShutdown,
+    SimulationCheckpointer,
+    SimulationInterrupted,
+    load_checkpoint,
+    resume_simulation_checkpoint,
+)
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig
+from repro.sim.faults import FaultConfig, FixedPreemptions, make_fault_config
+from repro.sim.manager import SimulationConfig, WorkflowManager
+from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.sim.trace import TraceRecorder
+
+from tests.sim.test_golden_traces import _config, _workflow
+
+#: Config factories for the golden scenarios (fresh objects per call —
+#: a resume must never share mutable state with the original run).
+CONFIGS = {
+    "baseline": lambda: _config(),
+    "fixed_preemption": lambda: _config(
+        faults=FaultConfig(preemption=FixedPreemptions(times=(45.0, 95.0)), seed=5)
+    ),
+    "poisson_chaos": lambda: _config(
+        faults=make_fault_config("chaos", rate=1 / 90.0, seed=5)
+    ),
+    "churny_pool": lambda: _config(
+        churn=ChurnConfig(
+            mean_lifetime=120.0,
+            mean_interarrival=60.0,
+            min_workers=2,
+            max_workers=5,
+        )
+    ),
+}
+
+
+def _uninterrupted(name):
+    """(trace text, total engine events) for the scenario run end-to-end."""
+    manager = WorkflowManager(_workflow(), CONFIGS[name]())
+    recorder = TraceRecorder(manager)
+    manager.run()
+    return recorder.text(), manager.engine.events_processed
+
+
+def _kill_and_resume(name, stop_after, path):
+    """Run to ``stop_after`` events, snapshot, abandon; resume fresh."""
+    # Phase 1: the doomed run.  Snapshot written, manager dropped on the
+    # floor mid-flight — exactly what SIGKILL leaves behind.
+    doomed = WorkflowManager(_workflow(), CONFIGS[name]())
+    checkpointer = SimulationCheckpointer(doomed, path)
+    doomed.begin()
+    doomed.advance(stop_after_events=stop_after)
+    checkpointer.write()
+    del doomed
+
+    # Phase 2: the relaunch, as a fresh process would do it.
+    manager = WorkflowManager(_workflow(), CONFIGS[name]())
+    recorder = TraceRecorder(manager)
+    _, done = resume_simulation_checkpoint(manager, path)
+    manager.advance()
+    manager.finish()
+    return recorder.text()
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+@pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+def test_kill_at_event_resume_is_bit_identical(name, fraction, tmp_path):
+    full_trace, total_events = _uninterrupted(name)
+    stop_after = max(1, int(total_events * fraction))
+    resumed_trace = _kill_and_resume(name, stop_after, str(tmp_path / "snap.json"))
+    assert resumed_trace == full_trace
+
+
+def test_resume_past_last_event_still_completes(tmp_path):
+    """A snapshot taken after the final event resumes to the same trace."""
+    full_trace, total_events = _uninterrupted("baseline")
+    resumed = _kill_and_resume("baseline", total_events, str(tmp_path / "snap.json"))
+    assert resumed == full_trace
+
+
+def test_periodic_event_snapshots_are_written_and_resumable(tmp_path):
+    path = str(tmp_path / "periodic.json")
+    manager = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    recorder = TraceRecorder(manager)
+    checkpointer = SimulationCheckpointer(manager, path, every_events=5)
+    manager.run()
+    full_trace = recorder.text()
+    assert checkpointer.snapshots_written >= 2
+
+    # The last periodic snapshot on disk resumes to the same end state.
+    _, payload = load_checkpoint(path, kind="simulation")
+    fresh = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    fresh_recorder = TraceRecorder(fresh)
+    resume_simulation_checkpoint(fresh, path)
+    fresh.advance()
+    fresh.finish()
+    assert fresh_recorder.text() == full_trace
+    assert fresh.engine.events_processed >= int(payload["events"])
+
+
+def test_shutdown_trip_snapshots_and_raises(tmp_path):
+    """The SIGINT/SIGTERM path: trip mid-run -> snapshot + interrupt."""
+    path = str(tmp_path / "interrupted.json")
+    full_trace, total_events = _uninterrupted("baseline")
+
+    shutdown = GracefulShutdown(install=False)
+    manager = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    SimulationCheckpointer(manager, path, shutdown=shutdown)
+    tripped_at = max(1, total_events // 3)
+    manager.engine.add_listener(
+        lambda: shutdown.trip(15)
+        if manager.engine.events_processed == tripped_at
+        else None
+    )
+    with pytest.raises(SimulationInterrupted) as excinfo:
+        manager.run()
+    assert excinfo.value.signum == 15
+    assert excinfo.value.path == path
+
+    # The snapshot it flushed resumes to the uninterrupted trace.
+    fresh = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    recorder = TraceRecorder(fresh)
+    resume_simulation_checkpoint(fresh, path)
+    fresh.advance()
+    fresh.finish()
+    assert recorder.text() == full_trace
+
+
+def test_resume_refuses_divergent_config(tmp_path):
+    """Same shape, different seed: replay diverges and must be refused."""
+    path = str(tmp_path / "snap.json")
+    doomed = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    checkpointer = SimulationCheckpointer(doomed, path)
+    doomed.begin()
+    doomed.advance(stop_after_events=40)
+    checkpointer.write()
+
+    divergent = SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm="quantized_bucketing",
+            seed=8,  # golden scenarios use seed=7
+            exploratory=ExploratoryConfig(min_records=3),
+        ),
+        pool=CONFIGS["baseline"]().pool,
+    )
+    manager = WorkflowManager(_workflow(), divergent)
+    with pytest.raises(CheckpointError, match="resume verification failed"):
+        resume_simulation_checkpoint(manager, path)
+
+
+def test_resume_refuses_wrong_workflow_or_algorithm(tmp_path):
+    path = str(tmp_path / "snap.json")
+    doomed = WorkflowManager(_workflow(), CONFIGS["baseline"]())
+    checkpointer = SimulationCheckpointer(doomed, path)
+    doomed.begin()
+    doomed.advance(stop_after_events=10)
+    checkpointer.write()
+
+    smaller = WorkflowManager(_workflow(n=8), CONFIGS["baseline"]())
+    with pytest.raises(CheckpointError, match="snapshot is for workflow"):
+        resume_simulation_checkpoint(smaller, path)
+
+    other_algo = SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm="max_seen", seed=7, exploratory=ExploratoryConfig(min_records=3)
+        ),
+        pool=CONFIGS["baseline"]().pool,
+    )
+    mismatched = WorkflowManager(_workflow(), other_algo)
+    with pytest.raises(CheckpointError, match="snapshot is for algorithm"):
+        resume_simulation_checkpoint(mismatched, path)
