@@ -434,6 +434,11 @@ class SimulationCheckpointer:
             "fault_rng": (
                 manager.faults.rng_state() if manager.faults is not None else None
             ),
+            "resilience_digest": (
+                state_digest(manager.resilience.state_dict())
+                if getattr(manager, "resilience", None) is not None
+                else None
+            ),
         }
         doc.update(self._extra)
         return doc
@@ -497,6 +502,17 @@ class SimulationCheckpointer:
                 "fault_rng",
                 manager.faults.rng_state() if manager.faults is not None else None,
                 payload["fault_rng"],
+            ),
+            # `.get`: snapshots written before the resilience layer
+            # existed verify as long as no policy is configured now.
+            (
+                "resilience_digest",
+                (
+                    state_digest(manager.resilience.state_dict())
+                    if getattr(manager, "resilience", None) is not None
+                    else None
+                ),
+                payload.get("resilience_digest"),
             ),
         ]
         for name, got, expected in checks:

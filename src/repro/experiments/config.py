@@ -15,6 +15,7 @@ from repro.core.allocator import AllocatorConfig
 from repro.sim.faults import FaultConfig
 from repro.sim.manager import SimulationConfig
 from repro.sim.pool import PoolConfig
+from repro.sim.resilience import ResilienceConfig
 from repro.sim.profiles import ConsumptionProfile, LinearRampProfile
 from repro.workflows.colmena import make_colmena_workflow
 from repro.workflows.spec import WorkflowSpec
@@ -81,6 +82,10 @@ class ExperimentConfig:
     #: every cell built from this config, so whole grids can be swept
     #: under identical adversity.
     faults: Optional[FaultConfig] = None
+    #: Optional task-level resilience policy (retry budgets, deadlines,
+    #: backoff, quarantine, circuit breaker, watchdog); ``None`` keeps
+    #: the paper's unbounded retry behaviour.
+    resilience: Optional[ResilienceConfig] = None
     #: Directory for crash-safe grid state (the completed-cell journal
     #: and the in-flight simulation snapshot).  ``None`` disables
     #: durability; see :mod:`repro.checkpoint`.
@@ -108,6 +113,7 @@ class ExperimentConfig:
             profile=self.profile,
             max_outstanding=self.max_outstanding,
             faults=self.faults,
+            resilience=self.resilience,
         )
 
     def with_(self, **changes) -> "ExperimentConfig":

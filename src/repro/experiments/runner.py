@@ -128,21 +128,24 @@ def grid_digest(
     which may legitimately differ between the interrupted run and its
     relaunch.
     """
-    return state_digest(
-        {
-            "workflows": list(workflows),
-            "algorithms": list(algorithms),
-            "n_workers": config.n_workers,
-            "ramp_up_seconds": config.ramp_up_seconds,
-            "n_tasks": config.n_tasks,
-            "workflow_seed": config.workflow_seed,
-            "allocator_seed": config.allocator_seed,
-            "pool_seed": config.pool_seed,
-            "profile": _stable_repr(config.profile),
-            "max_outstanding": config.max_outstanding,
-            "faults": _stable_repr(config.faults),
-        }
-    )
+    doc = {
+        "workflows": list(workflows),
+        "algorithms": list(algorithms),
+        "n_workers": config.n_workers,
+        "ramp_up_seconds": config.ramp_up_seconds,
+        "n_tasks": config.n_tasks,
+        "workflow_seed": config.workflow_seed,
+        "allocator_seed": config.allocator_seed,
+        "pool_seed": config.pool_seed,
+        "profile": _stable_repr(config.profile),
+        "max_outstanding": config.max_outstanding,
+        "faults": _stable_repr(config.faults),
+    }
+    if config.resilience is not None:
+        # Added only when set so journals written before the resilience
+        # layer existed keep their digests and stay resumable.
+        doc["resilience"] = _stable_repr(config.resilience)
+    return state_digest(doc)
 
 
 def _stable_repr(obj: Any) -> str:

@@ -90,6 +90,7 @@ class Ledger:
         self._n_attempts = 0
         self._n_failed = 0
         self._n_evicted = 0
+        self._n_quarantined = 0
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -168,6 +169,51 @@ class Ledger:
         self._tasks.append(usage)
         return usage
 
+    def record_quarantined(self, task: SimTask) -> None:
+        """Fold a *quarantined* task's burned attempts into the totals.
+
+        A quarantined task never completes, so it contributes no
+        consumption — every exhausted attempt it burned is pure
+        failed-allocation waste (charged to total allocation so AWE
+        honestly reflects the burn), and evicted attempts land in the
+        eviction bucket exactly as for completed tasks.  Cascade-
+        quarantined descendants arrive with zero attempts and only bump
+        the counter.
+        """
+        if task.attempts and task.attempts[-1].outcome is AttemptOutcome.SUCCESS:
+            raise ValueError(
+                f"task {task.task_id} succeeded; account it with record_task"
+            )
+        cat = task.category
+        if task.attempts:
+            cat_waste = self._by_category.setdefault(
+                cat, {r: WasteBreakdown() for r in self._resources}
+            )
+            cat_alloc = self._category_allocation.setdefault(
+                cat, {r: 0.0 for r in self._resources}
+            )
+            self._category_consumption.setdefault(
+                cat, {r: 0.0 for r in self._resources}
+            )
+            for res in self._resources:
+                for attempt in task.attempts:
+                    held = attempt.allocation[res] * attempt.runtime
+                    if attempt.outcome is AttemptOutcome.EVICTED:
+                        self._waste[res].eviction += held
+                        cat_waste[res].eviction += held
+                        continue
+                    self._allocation[res] += held
+                    cat_alloc[res] += held
+                    self._waste[res].failed_allocation += held
+                    cat_waste[res].failed_allocation += held
+            for attempt in task.attempts:
+                self._n_attempts += 1
+                if attempt.outcome is AttemptOutcome.EXHAUSTED:
+                    self._n_failed += 1
+                elif attempt.outcome is AttemptOutcome.EVICTED:
+                    self._n_evicted += 1
+        self._n_quarantined += 1
+
     # -- queries --------------------------------------------------------------------
 
     @property
@@ -189,6 +235,11 @@ class Ledger:
     @property
     def n_evicted_attempts(self) -> int:
         return self._n_evicted
+
+    @property
+    def n_quarantined(self) -> int:
+        """Tasks accounted as dead-lettered (never completed)."""
+        return self._n_quarantined
 
     def awe(self, resource: Resource) -> float:
         """Absolute Workflow Efficiency for one resource, in [0, 1]."""
@@ -282,6 +333,7 @@ class Ledger:
             "n_attempts": self._n_attempts,
             "n_failed": self._n_failed,
             "n_evicted": self._n_evicted,
+            "n_quarantined": self._n_quarantined,
         }
 
     @classmethod
@@ -327,6 +379,7 @@ class Ledger:
         new._n_attempts = int(state["n_attempts"])
         new._n_failed = int(state["n_failed"])
         new._n_evicted = int(state["n_evicted"])
+        new._n_quarantined = int(state.get("n_quarantined", 0))
         return new
 
     def identity_holds(self) -> bool:

@@ -39,7 +39,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Tuple
 
 from repro.core.resources import TIME, Resource
-from repro.sim.task import Attempt, AttemptOutcome, SimTask
+from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sim.manager import WorkflowManager
@@ -101,6 +101,25 @@ class InvariantChecker:
                 f"ledger identity broken at t={now}: allocation != "
                 "consumption + fragmentation + failed (per-resource totals "
                 "diverged after an ingest)"
+            )
+        # Task conservation: nothing ever disappears.  Every revealed
+        # (submitted) task is either done, dead-lettered, or still in
+        # flight; quarantined-but-unrevealed descendants are excluded
+        # because the submission window has not surfaced them yet.
+        manager = self._manager
+        submitted = manager.submitted_tasks
+        accounted = (
+            manager.completed_tasks
+            + (manager.quarantined_tasks - manager.quarantined_unrevealed)
+            + manager.outstanding_tasks
+        )
+        if submitted != accounted:
+            raise InvariantViolation(
+                f"task conservation broken at t={now}: submitted={submitted} "
+                f"!= completed({manager.completed_tasks}) + quarantined("
+                f"{manager.quarantined_tasks} - "
+                f"{manager.quarantined_unrevealed} unrevealed) + "
+                f"outstanding({manager.outstanding_tasks})"
             )
 
     # -- per-attempt checks (called by the manager) ----------------------------------
@@ -172,17 +191,37 @@ class InvariantChecker:
         ledger = manager.ledger
         if not ledger.identity_holds():
             raise InvariantViolation("ledger identity broken at completion")
+        n_completed = 0
+        n_quarantined = 0
         for task in manager.tasks():
             successes = [
                 a for a in task.attempts if a.outcome is AttemptOutcome.SUCCESS
             ]
+            if task.state is TaskState.QUARANTINED:
+                n_quarantined += 1
+                if successes:
+                    raise InvariantViolation(
+                        f"task {task.task_id} is quarantined yet has a "
+                        f"successful attempt (outcomes: "
+                        f"{[a.outcome.value for a in task.attempts]})"
+                    )
+                continue
+            n_completed += 1
             if len(successes) != 1 or task.attempts[-1] is not successes[0]:
                 raise InvariantViolation(
                     f"task {task.task_id} must end in exactly one success "
                     f"(outcomes: {[a.outcome.value for a in task.attempts]})"
                 )
+        if n_completed + n_quarantined != len(list(manager.tasks())):
+            raise InvariantViolation(  # pragma: no cover - defensive
+                "completed + quarantined does not cover the workflow"
+            )
         for res in self._resources():
             awe = ledger.awe(res)
+            if awe == 0.0 and ledger.total_consumption(res) <= 0.0:
+                # Every task of the run was dead-lettered: zero
+                # consumption against burned allocation is honest.
+                continue
             if not (0.0 < awe <= 1.0 + _RTOL):
                 raise InvariantViolation(
                     f"AWE({res.key}) = {awe} outside (0, 1]"

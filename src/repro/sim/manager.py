@@ -34,6 +34,12 @@ from repro.sim.faults import FaultConfig, FaultInjector, FaultStats
 from repro.sim.invariants import InvariantChecker
 from repro.sim.pool import PoolConfig, WorkerPool
 from repro.sim.profiles import ConsumptionProfile, LinearRampProfile
+from repro.sim.resilience import (
+    DeadLetterEntry,
+    ResilienceConfig,
+    ResilienceEngine,
+    ResilienceStats,
+)
 from repro.sim.scheduler import Scheduler
 from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
 from repro.sim.trace import SimEvent
@@ -74,6 +80,11 @@ class SimulationConfig:
     #: On by default — the conservation laws are cheap relative to the
     #: dispatch scan; very large perf sweeps may opt out.
     check_invariants: bool = True
+    #: Task-level resilience policy (retry budgets, deadlines, backoff,
+    #: quarantine, circuit breaker, watchdog; see
+    #: :mod:`repro.sim.resilience`).  ``None`` — and a default-valued
+    #: config — reproduce the paper's unbounded retry behaviour exactly.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_outstanding is not None and self.max_outstanding < 1:
@@ -104,6 +115,12 @@ class SimulationResult:
     wall_clock_seconds: float
     #: Injected-fault tallies; all zero on a fault-free run.
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    #: Tasks moved to the dead-letter ledger instead of completing.
+    n_quarantined: int = 0
+    #: The dead-letter entries themselves, in quarantine order.
+    dead_letters: Tuple[DeadLetterEntry, ...] = ()
+    #: Resilience-layer tallies; ``None`` when no policy was configured.
+    resilience_stats: Optional[ResilienceStats] = None
 
     def awe(self, resource: Resource) -> float:
         return self.ledger.awe(resource)
@@ -120,6 +137,7 @@ class SimulationResult:
             "attempts": self.n_attempts,
             "failed_attempts": self.n_failed_attempts,
             "evicted_attempts": self.n_evicted_attempts,
+            "quarantined": self.n_quarantined,
             "makespan_s": round(self.makespan, 3),
         }
         for res in self.ledger.resources:
@@ -148,11 +166,23 @@ class SimulationResult:
             "workers_left": self.workers_left,
             "wall_clock_seconds": self.wall_clock_seconds,
             "fault_stats": dataclasses.asdict(self.fault_stats),
+            "n_quarantined": self.n_quarantined,
+            "dead_letters": [entry.state_dict() for entry in self.dead_letters],
+            "resilience_stats": (
+                dataclasses.asdict(self.resilience_stats)
+                if self.resilience_stats is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "SimulationResult":
-        """Rebuild a result journaled by :meth:`state_dict`."""
+        """Rebuild a result journaled by :meth:`state_dict`.
+
+        The resilience keys are read with defaults so journals written
+        before the resilience layer existed still load.
+        """
+        stats_doc = state.get("resilience_stats")
         return cls(
             workflow_name=state["workflow_name"],
             algorithm=state["algorithm"],
@@ -166,6 +196,14 @@ class SimulationResult:
             workers_left=int(state["workers_left"]),
             wall_clock_seconds=float(state["wall_clock_seconds"]),
             fault_stats=FaultStats(**state["fault_stats"]),
+            n_quarantined=int(state.get("n_quarantined", 0)),
+            dead_letters=tuple(
+                DeadLetterEntry.from_state(doc)
+                for doc in state.get("dead_letters", ())
+            ),
+            resilience_stats=(
+                ResilienceStats(**stats_doc) if stats_doc is not None else None
+            ),
         )
 
 
@@ -175,7 +213,17 @@ class WorkflowManager:
     def __init__(self, workflow: WorkflowSpec, config: Optional[SimulationConfig] = None) -> None:
         self._workflow = workflow
         self._config = config if config is not None else SimulationConfig()
-        workflow.validate_fits(self._config.pool.capacity)
+        resilience_config = self._config.resilience
+        self._resilience: Optional[ResilienceEngine] = (
+            ResilienceEngine(resilience_config)
+            if resilience_config is not None and resilience_config.enabled
+            else None
+        )
+        if self._resilience is None or not resilience_config.quarantine_enabled:
+            # With quarantine off an oversized (poison) task would retry
+            # forever, so it is rejected up front; with a budget or
+            # deadline configured it is admitted and dead-lettered.
+            workflow.validate_fits(self._config.pool.capacity)
 
         self._engine = SimulationEngine()
         self._pool = WorkerPool(self._engine, self._config.pool)
@@ -189,11 +237,21 @@ class WorkflowManager:
                 allocator_config, machine_capacity=self._config.pool.capacity
             )
         self._allocator = TaskOrientedAllocator(allocator_config)
+        if self._resilience is not None:
+            # Satellite of the retry policy: retry doublings are clamped
+            # to the largest *alive* worker, so a degraded pool never
+            # receives an unsatisfiable escalation.
+            self._allocator.set_capacity_provider(self._pool.largest_alive_capacity)
         self._ledger = Ledger(self._config.allocator.resources)
         self._manage_time = TIME in self._config.allocator.resources
 
         self._tasks: Dict[int, SimTask] = {
             spec.task_id: SimTask(spec) for spec in workflow
+        }
+        #: task_id -> position in the workflow's submission order; used
+        #: to tell whether a cascade-quarantined task was ever revealed.
+        self._spec_index: Dict[int, int] = {
+            spec.task_id: i for i, spec in enumerate(workflow.tasks)
         }
         # Reverse dependency index: parent -> children waiting on it.
         self._children: Dict[int, List[int]] = {}
@@ -237,10 +295,16 @@ class WorkflowManager:
         self._attempt_start: Dict[int, float] = {}
         self._attempt_worker: Dict[int, int] = {}
         self._completed = 0
+        self._quarantined = 0
+        #: Cascade-quarantined tasks the submission window has not yet
+        #: revealed; needed to state the conservation law exactly.
+        self._quarantined_unrevealed = 0
         self._next_to_submit = 0
         self._outstanding = 0
         self._ran = False
         self._started_wall = 0.0
+        if self._resilience is not None and self._resilience.watchdog is not None:
+            self._engine.add_listener(self._watchdog_check)
 
     # -- public API --------------------------------------------------------------
 
@@ -294,6 +358,35 @@ class WorkflowManager:
     def completed_tasks(self) -> int:
         return self._completed
 
+    @property
+    def resilience(self) -> Optional[ResilienceEngine]:
+        return self._resilience
+
+    @property
+    def quarantined_tasks(self) -> int:
+        """Tasks moved to the dead-letter ledger (0 without a policy)."""
+        return self._quarantined
+
+    @property
+    def quarantined_unrevealed(self) -> int:
+        """Quarantined tasks the submission window never revealed."""
+        return self._quarantined_unrevealed
+
+    @property
+    def submitted_tasks(self) -> int:
+        """Tasks revealed to the scheduler so far."""
+        return self._next_to_submit
+
+    @property
+    def outstanding_tasks(self) -> int:
+        """Revealed tasks that are neither completed nor quarantined."""
+        return self._outstanding
+
+    @property
+    def terminal_tasks(self) -> int:
+        """Tasks that reached a final state (completed or quarantined)."""
+        return self._completed + self._quarantined
+
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return the result."""
         self.begin()
@@ -329,23 +422,34 @@ class WorkflowManager:
             max_events=self._config.effective_max_events(len(self._workflow)),
             stop_after_total=stop_after_events,
         )
-        return self._completed == len(self._workflow)
+        return self.terminal_tasks == len(self._workflow)
 
     def finish(self) -> SimulationResult:
         """Validate the completed run and bundle the result."""
-        if self._completed != len(self._workflow):
+        if self.terminal_tasks != len(self._workflow):
             raise RuntimeError(
                 f"simulation drained with {self._completed}/{len(self._workflow)} "
-                "tasks completed — the pool can no longer host the remaining tasks"
+                f"tasks completed and {self._quarantined} quarantined — the pool "
+                "can no longer host the remaining tasks"
             )
         if self._invariants is not None:
             self._invariants.check_complete()
         assert self._ledger.identity_holds(), "accounting identity violated"
 
-        makespan = max(
-            (t.completion_time for t in self._tasks.values() if t.completion_time is not None),
-            default=0.0,
-        )
+        terminal_times = [
+            t.completion_time
+            for t in self._tasks.values()
+            if t.completion_time is not None
+        ]
+        dead_letters: Tuple[DeadLetterEntry, ...] = ()
+        resilience_stats: Optional[ResilienceStats] = None
+        if self._resilience is not None:
+            dead_letters = self._resilience.dead_letters.entries()
+            terminal_times.extend(entry.time for entry in dead_letters)
+            resilience_stats = self._resilience.stats(
+                capacity_clamps=self._allocator.capacity_clamps_total
+            )
+        makespan = max(terminal_times, default=0.0)
         self._emit("complete", tasks=self._completed, attempts=self._ledger.n_attempts)
         return SimulationResult(
             workflow_name=self._workflow.name,
@@ -360,6 +464,9 @@ class WorkflowManager:
             workers_left=self._pool.total_left,
             wall_clock_seconds=_time.perf_counter() - self._started_wall,
             fault_stats=self._faults.stats if self._faults is not None else FaultStats(),
+            n_quarantined=self._quarantined,
+            dead_letters=dead_letters,
+            resilience_stats=resilience_stats,
         )
 
     # -- allocation hooks ---------------------------------------------------------------
@@ -374,9 +481,22 @@ class WorkflowManager:
             if self._manage_time:
                 values[TIME] = task.spec.duration
             return ResourceVector(values)
+        if self._resilience is not None and self._resilience.conservative_mode(
+            self._engine.now
+        ):
+            # Breaker open (degraded mode): bypass the algorithm and
+            # allocate a whole machine — fragmentation over livelock.
+            return self._allocator.conservative_allocation()
         return self._allocator.allocate(task.category, task.task_id)
 
-    def _allocation_version(self, task: SimTask) -> int:
+    def _allocation_version(self, task: SimTask):
+        if self._resilience is not None:
+            # Mix in the breaker epoch so every queued prediction goes
+            # stale the moment the degraded-mode state flips.
+            return (
+                self._allocator.version(task.category),
+                self._resilience.allocation_epoch(self._engine.now),
+            )
         return self._allocator.version(task.category)
 
     def _may_dispatch(self, task: SimTask) -> bool:
@@ -403,11 +523,22 @@ class WorkflowManager:
         ):
             task = self._tasks[specs[self._next_to_submit].task_id]
             self._next_to_submit += 1
+            if task.state is TaskState.QUARANTINED:
+                # Already dead-lettered through a quarantined parent
+                # before the window reached it; it is now revealed.
+                self._quarantined_unrevealed -= 1
+                continue
             self._outstanding += 1
             if task.state is TaskState.READY:
-                self._scheduler.enqueue(task)
+                self._enqueue_new(task)
             # PENDING tasks are submitted but wait for their parents; the
             # dependency-completion hook enqueues them.
+
+    def _enqueue_new(self, task: SimTask) -> None:
+        """First enqueue of a task (starts its deadline clock)."""
+        if self._resilience is not None:
+            self._resilience.note_enqueued(task.task_id, self._engine.now)
+        self._scheduler.enqueue(task)
 
     # -- attempt lifecycle ----------------------------------------------------------------
 
@@ -429,6 +560,13 @@ class WorkflowManager:
                     worker=worker.worker_id,
                     retry_in=retry_in,
                 )
+                if self._resilience is not None and self._resilience.deadline_exceeded(
+                    task.task_id, self._engine.now
+                ):
+                    # Past its wall-clock deadline: stop burning
+                    # dispatch retries on it and dead-letter it now.
+                    self._quarantine_task(task, "deadline_exceeded")
+                    return
                 self._engine.schedule(retry_in, lambda: self._redispatch(task))
                 return
         worker.place(task.task_id, allocation)
@@ -500,12 +638,11 @@ class WorkflowManager:
             self._allocator.observe(task.category, peaks, task_id=task.task_id)
             self._ledger.record_task(task)
             self._outstanding -= 1
+            self._note_outcome(success=True)
             self._submit_more()
             self._notify_children(task)
-            if self._completed == len(self._workflow):
-                self._pool.stop()
-                if self._faults is not None:
-                    self._faults.stop()
+            if self.terminal_tasks == len(self._workflow):
+                self._stop_generators()
                 return
         else:
             attempt = Attempt(
@@ -526,21 +663,25 @@ class WorkflowManager:
                 resources=tuple(r.key for r in verdict.exhausted),
             )
             task.state = TaskState.READY
-            task.current_allocation = self._allocator.allocate_retry(
-                task.category,
-                task.task_id,
-                previous=allocation,
-                observed=verdict.observed,
-                exhausted=verdict.exhausted,
-            )
-            self._scheduler.enqueue_retry(task)
+            self._note_outcome(success=False)
+            if self._resilience is not None:
+                self._resilient_retry(task, allocation, verdict)
+            else:
+                task.current_allocation = self._allocator.allocate_retry(
+                    task.category,
+                    task.task_id,
+                    previous=allocation,
+                    observed=verdict.observed,
+                    exhausted=verdict.exhausted,
+                )
+                self._scheduler.enqueue_retry(task)
         self._dispatch()
 
     def _notify_children(self, task: SimTask) -> None:
         for child_id in self._children.get(task.task_id, ()):  # dynamic DAG fan-out
             child = self._tasks[child_id]
             if child.dependency_completed(task.task_id, self._engine.now):
-                self._scheduler.enqueue(child)
+                self._enqueue_new(child)
 
     # -- pool callbacks ----------------------------------------------------------------------
 
@@ -632,7 +773,156 @@ class WorkflowManager:
         self._record_attempt(task, attempt)
         self._emit("evicted", task=task_id, worker=worker_id, cause=cause)
         task.state = TaskState.READY
+        if self._resilience is not None:
+            decision = self._resilience.on_requeue(task_id, cause, now)
+            if not decision.retry:
+                self._quarantine_task(task, decision.reason)
+                return
+            if decision.delay > 0:
+                self._emit("backoff", task=task_id, delay=decision.delay)
+                self._engine.schedule(
+                    decision.delay, lambda: self._requeue_after_backoff(task)
+                )
+                return
         self._scheduler.enqueue_retry(task)
+
+    # -- resilience policy ---------------------------------------------------------------------
+
+    def _note_outcome(self, success: bool) -> None:
+        """Feed one success/exhaustion into the breaker and watchdog."""
+        if self._resilience is None:
+            return
+        now = self._engine.now
+        breaker = self._resilience.breaker
+        epoch_before = breaker.epoch if breaker is not None else 0
+        self._resilience.record_outcome(success, now)
+        if success:
+            self._resilience.note_progress(now)
+        if breaker is not None and breaker.epoch != epoch_before:
+            self._emit(
+                "breaker", state=breaker.state(now).value, trips=breaker.trips
+            )
+
+    def _resilient_retry(self, task: SimTask, allocation: ResourceVector, verdict) -> None:
+        """Exhaustion requeue under a retry policy: escalate, delay, or give up."""
+        assert self._resilience is not None
+        now = self._engine.now
+        decision = self._resilience.on_requeue(task.task_id, "exhausted", now)
+        if not decision.retry:
+            self._quarantine_task(task, decision.reason)
+            return
+        if self._resilience.conservative_mode(now):
+            # Degraded mode: skip the algorithm's escalation ladder and
+            # jump straight to the conservative whole-machine allocation
+            # (never shrinking below what already proved insufficient).
+            task.current_allocation = allocation.componentwise_max(
+                self._allocator.conservative_allocation()
+            )
+        else:
+            task.current_allocation = self._allocator.allocate_retry(
+                task.category,
+                task.task_id,
+                previous=allocation,
+                observed=verdict.observed,
+                exhausted=verdict.exhausted,
+            )
+        if decision.delay > 0:
+            self._emit("backoff", task=task.task_id, delay=decision.delay)
+            self._engine.schedule(
+                decision.delay, lambda: self._requeue_after_backoff(task)
+            )
+        else:
+            self._scheduler.enqueue_retry(task)
+
+    def _requeue_after_backoff(self, task: SimTask) -> None:
+        """Re-admit a task whose requeue was delayed by backoff."""
+        if task.state is not TaskState.READY:  # pragma: no cover - defensive
+            return
+        self._scheduler.enqueue_retry(task)
+        self._dispatch()
+
+    def _quarantine_task(self, task: SimTask, reason: str) -> None:
+        """Move one over-budget task to the dead-letter ledger.
+
+        The task's burned attempts are charged to the accounting ledger
+        (failed-allocation waste), descendants that can now never run
+        are cascade-quarantined, and the freed submission-window slot is
+        refilled — the rest of the workflow keeps going.
+        """
+        assert self._resilience is not None
+        now = self._engine.now
+        task.state = TaskState.QUARANTINED
+        self._resilience.quarantine(
+            task.task_id,
+            task.category,
+            reason,
+            now,
+            n_attempts=task.n_attempts,
+            n_exhausted=task.n_exhausted_attempts,
+            n_evicted=task.n_evicted_attempts,
+        )
+        self._ledger.record_quarantined(task)
+        self._quarantined += 1
+        self._outstanding -= 1
+        self._emit(
+            "quarantine", task=task.task_id, reason=reason, attempts=task.n_attempts
+        )
+        self._cascade_quarantine(task)
+        self._submit_more()
+        if self.terminal_tasks == len(self._workflow):
+            self._stop_generators()
+
+    def _cascade_quarantine(self, root: SimTask) -> None:
+        """Dead-letter every descendant waiting on a quarantined parent."""
+        assert self._resilience is not None
+        now = self._engine.now
+        stack = list(self._children.get(root.task_id, ()))
+        while stack:
+            child = self._tasks[stack.pop()]
+            if child.state is not TaskState.PENDING:
+                continue
+            child.state = TaskState.QUARANTINED
+            self._resilience.quarantine(
+                child.task_id,
+                child.category,
+                "parent_quarantined",
+                now,
+                n_attempts=child.n_attempts,
+                n_exhausted=child.n_exhausted_attempts,
+                n_evicted=child.n_evicted_attempts,
+            )
+            self._ledger.record_quarantined(child)
+            self._quarantined += 1
+            if self._spec_index[child.task_id] < self._next_to_submit:
+                self._outstanding -= 1
+            else:
+                self._quarantined_unrevealed += 1
+            self._emit(
+                "quarantine",
+                task=child.task_id,
+                reason="parent_quarantined",
+                attempts=child.n_attempts,
+            )
+            stack.extend(self._children.get(child.task_id, ()))
+
+    def _watchdog_check(self) -> None:
+        """Engine post-event hook: detect no-forward-progress windows."""
+        assert self._resilience is not None
+        work_outstanding = self.terminal_tasks < len(self._workflow)
+        if self._resilience.check_stall(self._engine.now, work_outstanding):
+            watchdog = self._resilience.watchdog
+            assert watchdog is not None
+            self._emit(
+                "stall",
+                stalls=watchdog.stalls,
+                degraded=self._resilience.breaker is not None,
+            )
+
+    def _stop_generators(self) -> None:
+        """Terminal state reached: let the event queue drain."""
+        self._pool.stop()
+        if self._faults is not None:
+            self._faults.stop()
 
     # -- dispatch trampoline -------------------------------------------------------------------
 

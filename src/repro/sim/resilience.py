@@ -1,0 +1,738 @@
+"""Task-level resilience: retry policies, quarantine, breaker, watchdog.
+
+The paper's only recovery rule — retry with the next-larger bucket,
+then double past the largest (Section III) — is *unbounded*: a
+pathological task that exhausts memory at every allocation retries
+forever, and the whole workflow livelocks behind it.  Sizey
+(arXiv:2407.16353) and Ponder (arXiv:2408.00047) both treat
+failure-handling as a first-class, tunable dimension of the allocator;
+this module gives the reproduction the same dimension, as four
+cooperating pieces consulted by the
+:class:`~repro.sim.manager.WorkflowManager` on every requeue path:
+
+* :class:`RetryPolicyConfig` — per-task retry budgets, wall-clock
+  deadlines and exponential backoff with jitter drawn from the policy's
+  *own* named RNG stream (never the fault injector's, so enabling
+  backoff cannot perturb a fault schedule).
+* **Poison-task quarantine** — a task that exceeds its budget or
+  deadline is moved to the :class:`DeadLetterLedger` instead of being
+  requeued; its failed attempts are charged to the accounting ledger's
+  failed-allocation waste so AWE stays honest about the burned
+  resources.
+* :class:`CircuitBreaker` — a closed/open/half-open state machine over
+  the recent failed-allocation rate.  While *open*, the manager
+  abandons the algorithm's predictions and allocates conservatively
+  (whole machine), trading fragmentation for forward progress; after a
+  cooldown it *half-opens* and probes with normal predictions again.
+* :class:`StallWatchdog` — rides the engine's post-event hook and
+  detects no-forward-progress windows (all workers idle with a
+  non-empty queue, or retry loops with zero completions); a stall
+  forces the breaker open (degraded mode) and is counted, never
+  silently absorbed.
+
+Everything here is deterministic given its config: the breaker and the
+watchdog are pure functions of the event stream, and the only
+randomness (backoff jitter) comes from a seeded generator captured by
+:meth:`ResilienceEngine.state_dict`, so checkpoint/resume replay stays
+bit-exact and two runs with the same seeds produce identical traces.
+
+All knobs default *off*: a ``ResilienceConfig()`` (or ``None``) adds no
+behaviour — golden traces and benchmark numbers are unchanged until a
+budget, deadline, backoff, breaker or watchdog is explicitly enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint import generator_state, restore_generator
+
+__all__ = [
+    "RetryPolicyConfig",
+    "CircuitBreakerConfig",
+    "WatchdogConfig",
+    "ResilienceConfig",
+    "RetryAction",
+    "RetryDecision",
+    "DeadLetterEntry",
+    "DeadLetterLedger",
+    "BreakerState",
+    "CircuitBreaker",
+    "StallWatchdog",
+    "ResilienceStats",
+    "ResilienceEngine",
+]
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicyConfig:
+    """When to keep retrying a failed attempt, and how long to wait.
+
+    Attributes
+    ----------
+    budget:
+        Maximum *exhausted* attempts a task may accumulate before it is
+        quarantined (``None`` = unbounded, the paper's behaviour).
+        Evictions and fault kills do not count by default — they say
+        nothing about the allocation's adequacy — unless
+        ``count_evictions`` is set.
+    deadline:
+        Simulation-clock seconds a task may spend between its first
+        enqueue and its completion; exceeded at requeue time, the task
+        is quarantined (``None`` = no deadline).
+    count_evictions:
+        Charge evicted/fault-killed attempts against ``budget`` too
+        (an aggressive policy for pools where eviction storms should
+        shed load rather than retry forever).
+    backoff_base:
+        Seconds before the k-th retry is re-enqueued, growing as
+        ``backoff_base * backoff_factor**(k-1)`` capped at
+        ``backoff_max``; ``0`` (default) requeues synchronously —
+        byte-identical to the pre-resilience scheduler.
+    backoff_factor, backoff_max:
+        Growth factor and cap of the backoff ladder.
+    jitter:
+        Fractional +/- jitter applied to each backoff delay, drawn from
+        the policy's own seeded stream (see ``seed``).  ``0`` disables.
+    seed:
+        Seed of the named ``numpy.random.Generator`` jitter stream —
+        deliberately separate from the fault injector's stream so the
+        same fault seed replays identically with or without backoff.
+    """
+
+    budget: Optional[int] = None
+    deadline: Optional[float] = None
+    count_evictions: bool = False
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 300.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"retry budget must be >= 1, got {self.budget}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"task deadline must be > 0, got {self.deadline}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_base > 0 and self.backoff_max < self.backoff_base:
+            raise ValueError("need backoff_base <= backoff_max")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @property
+    def bounded(self) -> bool:
+        """True when some rule can ever quarantine a task."""
+        return self.budget is not None or self.deadline is not None
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Degraded-mode fallback over the recent failed-allocation rate.
+
+    Attributes
+    ----------
+    enabled:
+        Off by default; the breaker adds no behaviour when disabled.
+    window:
+        Number of recent attempt outcomes (success / exhausted) the
+        failure rate is computed over; the breaker only trips once the
+        window is full, so a single early failure cannot open it.
+    failure_threshold:
+        Failed fraction of the window at or above which the breaker
+        opens.
+    cooldown:
+        Simulation-clock seconds the breaker stays open before
+        half-opening to probe.
+    half_open_probes:
+        Consecutive successful attempts required in half-open state to
+        close again; one failure re-opens immediately.
+    """
+
+    enabled: bool = False
+    window: int = 20
+    failure_threshold: float = 0.5
+    cooldown: float = 600.0
+    half_open_probes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"breaker window must be >= 1, got {self.window}")
+        if not (0.0 < self.failure_threshold <= 1.0):
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {self.cooldown}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """No-forward-progress detection.
+
+    ``window`` is the simulation-clock grace period: if that much time
+    passes with unfinished tasks outstanding and not a single completion
+    or quarantine, the watchdog declares a stall.  Each stall is counted
+    and (when a breaker is configured) forces it open — degraded mode —
+    so the run sheds its misbehaving predictions instead of spinning.
+    """
+
+    enabled: bool = False
+    window: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"watchdog window must be > 0, got {self.window}")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The full task-resilience policy of one simulated run."""
+
+    retry: RetryPolicyConfig = field(default_factory=RetryPolicyConfig)
+    breaker: CircuitBreakerConfig = field(default_factory=CircuitBreakerConfig)
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+
+    @property
+    def quarantine_enabled(self) -> bool:
+        return self.retry.bounded
+
+    @property
+    def enabled(self) -> bool:
+        """False for the default config: a no-op engine is never built."""
+        return (
+            self.retry.bounded
+            or self.retry.backoff_base > 0
+            or self.breaker.enabled
+            or self.watchdog.enabled
+        )
+
+
+# ---------------------------------------------------------------------------
+# Retry decisions
+# ---------------------------------------------------------------------------
+
+
+class RetryAction(enum.Enum):
+    """What the policy engine tells the manager to do with a failure."""
+
+    RETRY = "retry"
+    QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class RetryDecision:
+    """One policy verdict: retry (after ``delay`` seconds) or give up."""
+
+    action: RetryAction
+    delay: float = 0.0
+    reason: str = ""
+
+    @property
+    def retry(self) -> bool:
+        return self.action is RetryAction.RETRY
+
+
+# ---------------------------------------------------------------------------
+# Dead-letter ledger
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One quarantined task: who, when, why, and what it burned."""
+
+    task_id: int
+    category: str
+    reason: str
+    time: float
+    n_attempts: int
+    n_exhausted: int
+    n_evicted: int
+
+    def state_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "category": self.category,
+            "reason": self.reason,
+            "time": self.time,
+            "n_attempts": self.n_attempts,
+            "n_exhausted": self.n_exhausted,
+            "n_evicted": self.n_evicted,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DeadLetterEntry":
+        return cls(
+            task_id=int(state["task_id"]),
+            category=str(state["category"]),
+            reason=str(state["reason"]),
+            time=float(state["time"]),
+            n_attempts=int(state["n_attempts"]),
+            n_exhausted=int(state["n_exhausted"]),
+            n_evicted=int(state["n_evicted"]),
+        )
+
+
+class DeadLetterLedger:
+    """Append-only record of quarantined tasks, in quarantine order."""
+
+    def __init__(self) -> None:
+        self._entries: List[DeadLetterEntry] = []
+
+    def append(self, entry: DeadLetterEntry) -> None:
+        self._entries.append(entry)
+
+    def entries(self) -> Tuple[DeadLetterEntry, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, task_id: int) -> bool:
+        return any(e.task_id == task_id for e in self._entries)
+
+    def by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def state_dict(self) -> dict:
+        return {"entries": [e.state_dict() for e in self._entries]}
+
+    def load_state(self, state: dict) -> None:
+        self._entries = [DeadLetterEntry.from_state(doc) for doc in state["entries"]]
+
+    def __repr__(self) -> str:
+        return f"DeadLetterLedger(n={len(self._entries)})"
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker switching the allocator into degraded mode.
+
+    *Closed* — normal operation; a sliding window of recent attempt
+    outcomes is maintained, and when the window is full with a failed
+    fraction at or above the threshold the breaker *opens*.
+
+    *Open* — the manager allocates conservatively (whole machine)
+    instead of consulting the algorithm.  After ``cooldown`` simulated
+    seconds the breaker *half-opens*.
+
+    *Half-open* — normal predictions are probed; ``half_open_probes``
+    consecutive successes close the breaker (window cleared for a fresh
+    start), a single failure re-opens it (a new cooldown begins).
+
+    Every transition bumps :attr:`epoch`, which the manager mixes into
+    the scheduler's allocation-version cookie so queued predictions go
+    stale the moment the mode flips.
+    """
+
+    def __init__(self, config: CircuitBreakerConfig) -> None:
+        self._config = config
+        self._state = BreakerState.CLOSED
+        #: 1 = failed (exhausted), 0 = success; newest last.
+        self._window: List[int] = []
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        self.trips = 0
+        self.epoch = 0
+
+    @property
+    def config(self) -> CircuitBreakerConfig:
+        return self._config
+
+    def state(self, now: float) -> BreakerState:
+        """Current state, applying a due open -> half-open transition."""
+        if (
+            self._state is BreakerState.OPEN
+            and now - self._opened_at >= self._config.cooldown
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_successes = 0
+            self.epoch += 1
+        return self._state
+
+    def conservative(self, now: float) -> bool:
+        """Whether allocations should bypass the algorithm right now."""
+        return self.state(now) is BreakerState.OPEN
+
+    def record_outcome(self, success: bool, now: float) -> None:
+        """Feed one attempt outcome (success or exhaustion) in."""
+        state = self.state(now)
+        if state is BreakerState.HALF_OPEN:
+            if success:
+                self._probe_successes += 1
+                if self._probe_successes >= self._config.half_open_probes:
+                    self._state = BreakerState.CLOSED
+                    self._window.clear()
+                    self.epoch += 1
+            else:
+                self._trip(now)
+            return
+        self._window.append(0 if success else 1)
+        if len(self._window) > self._config.window:
+            self._window.pop(0)
+        if (
+            state is BreakerState.CLOSED
+            and len(self._window) >= self._config.window
+            and sum(self._window) / len(self._window) >= self._config.failure_threshold
+        ):
+            self._trip(now)
+
+    def force_open(self, now: float) -> None:
+        """Degraded-mode trigger (the watchdog's stall response)."""
+        if self.state(now) is not BreakerState.OPEN:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = now
+        self._probe_successes = 0
+        self.trips += 1
+        self.epoch += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "state": self._state.value,
+            "window": list(self._window),
+            "opened_at": self._opened_at,
+            "probe_successes": self._probe_successes,
+            "trips": self.trips,
+            "epoch": self.epoch,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._state = BreakerState(state["state"])
+        self._window = [int(v) for v in state["window"]]
+        self._opened_at = float(state["opened_at"])
+        self._probe_successes = int(state["probe_successes"])
+        self.trips = int(state["trips"])
+        self.epoch = int(state["epoch"])
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self._state.value}, trips={self.trips}, "
+            f"window={sum(self._window)}/{len(self._window)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stall watchdog
+# ---------------------------------------------------------------------------
+
+
+class StallWatchdog:
+    """Detects no-forward-progress windows from the post-event hook.
+
+    Progress is a completion or a quarantine; ``check`` is called after
+    every engine event with whether unfinished work remains.  When the
+    grace window elapses without progress while work is outstanding —
+    which covers both stall shapes, all-workers-idle-with-a-queue and
+    retry-loops-with-zero-completions — the stall is latched (counted
+    once per episode) until progress resumes.
+    """
+
+    def __init__(self, config: WatchdogConfig) -> None:
+        self._config = config
+        self._last_progress = 0.0
+        self._stalled = False
+        self.stalls = 0
+
+    @property
+    def config(self) -> WatchdogConfig:
+        return self._config
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def progress(self, now: float) -> None:
+        """A task completed or was quarantined: the run is moving."""
+        self._last_progress = now
+        self._stalled = False
+
+    def check(self, now: float, work_outstanding: bool) -> bool:
+        """Returns True exactly when a new stall episode is detected."""
+        if not work_outstanding:
+            self._last_progress = now
+            self._stalled = False
+            return False
+        if self._stalled:
+            return False
+        if now - self._last_progress >= self._config.window:
+            self._stalled = True
+            self.stalls += 1
+            return True
+        return False
+
+    def state_dict(self) -> dict:
+        return {
+            "last_progress": self._last_progress,
+            "stalled": self._stalled,
+            "stalls": self.stalls,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._last_progress = float(state["last_progress"])
+        self._stalled = bool(state["stalled"])
+        self.stalls = int(state["stalls"])
+
+    def __repr__(self) -> str:
+        return f"StallWatchdog(stalls={self.stalls}, stalled={self._stalled})"
+
+
+# ---------------------------------------------------------------------------
+# Stats & engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResilienceStats:
+    """What the resilience layer actually did during one run."""
+
+    quarantined: int = 0
+    breaker_trips: int = 0
+    watchdog_stalls: int = 0
+    backoff_requeues: int = 0
+    capacity_clamps: int = 0
+
+    def total_interventions(self) -> int:
+        return (
+            self.quarantined
+            + self.breaker_trips
+            + self.watchdog_stalls
+            + self.backoff_requeues
+        )
+
+
+class ResilienceEngine:
+    """The policy engine the manager consults on every requeue.
+
+    Owns the retry bookkeeping (exhaustion counts, first-seen times),
+    the jitter RNG, the dead-letter ledger, and — when enabled — the
+    breaker and the watchdog.  Deliberately workflow- and
+    simulator-agnostic: the manager passes plain facts (task id,
+    category, cause, clock) and acts on the returned decision.
+    """
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self._config = config
+        self._rng = np.random.default_rng(config.retry.seed)
+        self._exhaustions: Dict[int, int] = {}
+        self._failures: Dict[int, int] = {}
+        self._first_seen: Dict[int, float] = {}
+        self._requeues: Dict[int, int] = {}
+        self.dead_letters = DeadLetterLedger()
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(config.breaker) if config.breaker.enabled else None
+        )
+        self.watchdog: Optional[StallWatchdog] = (
+            StallWatchdog(config.watchdog) if config.watchdog.enabled else None
+        )
+        self._backoff_requeues = 0
+
+    @property
+    def config(self) -> ResilienceConfig:
+        return self._config
+
+    # -- lifecycle facts from the manager ---------------------------------------
+
+    def note_enqueued(self, task_id: int, now: float) -> None:
+        """First time a task becomes ready (starts its deadline clock)."""
+        self._first_seen.setdefault(task_id, now)
+
+    def exhaustions_of(self, task_id: int) -> int:
+        return self._exhaustions.get(task_id, 0)
+
+    def deadline_exceeded(self, task_id: int, now: float) -> bool:
+        """Deadline-only probe for paths with their own retry machinery.
+
+        The transient dispatch-fault path keeps the fault injector's
+        backoff (a lost submission says nothing about the allocation's
+        adequacy and must not charge the budget or draw jitter), but a
+        task past its deadline is still quarantined there.
+        """
+        deadline = self._config.retry.deadline
+        if deadline is None:
+            return False
+        return now - self._first_seen.get(task_id, now) >= deadline
+
+    # -- the decision -----------------------------------------------------------
+
+    def on_requeue(self, task_id: int, cause: str, now: float) -> RetryDecision:
+        """Decide one failed attempt's fate: retry (+delay) or quarantine.
+
+        ``cause`` is the manager's requeue path: ``"exhausted"``,
+        ``"worker_lost"``, ``"degraded"`` or ``"fault_kill"``.  The
+        budget compares against the task's exhausted-attempt count
+        (every failure when ``count_evictions`` is set); the deadline
+        compares the clock against the task's first-ready time.
+        """
+        retry = self._config.retry
+        if cause == "exhausted":
+            self._exhaustions[task_id] = self._exhaustions.get(task_id, 0) + 1
+        self._failures[task_id] = self._failures.get(task_id, 0) + 1
+        if retry.budget is not None:
+            charged = (
+                self._failures if retry.count_evictions else self._exhaustions
+            ).get(task_id, 0)
+            if charged >= retry.budget:
+                return RetryDecision(
+                    RetryAction.QUARANTINE, reason="retry_budget_exceeded"
+                )
+        if retry.deadline is not None:
+            first = self._first_seen.get(task_id, now)
+            if now - first >= retry.deadline:
+                return RetryDecision(RetryAction.QUARANTINE, reason="deadline_exceeded")
+        self._requeues[task_id] = self._requeues.get(task_id, 0) + 1
+        return RetryDecision(RetryAction.RETRY, delay=self._backoff(task_id))
+
+    def _backoff(self, task_id: int) -> float:
+        retry = self._config.retry
+        if retry.backoff_base <= 0:
+            return 0.0
+        k = self._requeues.get(task_id, 1)
+        delay = min(retry.backoff_max, retry.backoff_base * retry.backoff_factor ** (k - 1))
+        if retry.jitter > 0:
+            delay *= 1.0 + retry.jitter * float(self._rng.uniform(-1.0, 1.0))
+        self._backoff_requeues += 1
+        return delay
+
+    # -- quarantine bookkeeping --------------------------------------------------
+
+    def quarantine(
+        self,
+        task_id: int,
+        category: str,
+        reason: str,
+        now: float,
+        n_attempts: int,
+        n_exhausted: int,
+        n_evicted: int,
+    ) -> DeadLetterEntry:
+        entry = DeadLetterEntry(
+            task_id=task_id,
+            category=category,
+            reason=reason,
+            time=now,
+            n_attempts=n_attempts,
+            n_exhausted=n_exhausted,
+            n_evicted=n_evicted,
+        )
+        self.dead_letters.append(entry)
+        if self.watchdog is not None:
+            self.watchdog.progress(now)
+        return entry
+
+    # -- breaker / watchdog passthroughs -----------------------------------------
+
+    def record_outcome(self, success: bool, now: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_outcome(success, now)
+
+    def conservative_mode(self, now: float) -> bool:
+        return self.breaker is not None and self.breaker.conservative(now)
+
+    def allocation_epoch(self, now: float) -> int:
+        """Cookie mixed into the scheduler's allocation version."""
+        if self.breaker is None:
+            return 0
+        self.breaker.state(now)  # apply a due open -> half-open flip
+        return self.breaker.epoch
+
+    def note_progress(self, now: float) -> None:
+        if self.watchdog is not None:
+            self.watchdog.progress(now)
+
+    def check_stall(self, now: float, work_outstanding: bool) -> bool:
+        """Post-event stall probe; forces the breaker open on a stall."""
+        if self.watchdog is None:
+            return False
+        stalled = self.watchdog.check(now, work_outstanding)
+        if stalled and self.breaker is not None:
+            self.breaker.force_open(now)
+        return stalled
+
+    # -- stats & checkpointing ----------------------------------------------------
+
+    def stats(self, capacity_clamps: int = 0) -> ResilienceStats:
+        return ResilienceStats(
+            quarantined=len(self.dead_letters),
+            breaker_trips=self.breaker.trips if self.breaker is not None else 0,
+            watchdog_stalls=self.watchdog.stalls if self.watchdog is not None else 0,
+            backoff_requeues=self._backoff_requeues,
+            capacity_clamps=capacity_clamps,
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of all mutable policy state (bit-exact).
+
+        Replay-based resume rebuilds this state by re-running events,
+        so the snapshot's role is *verification*: the checkpointer
+        digests it on save and after replay, refusing any divergence —
+        including in quarantine decisions and jitter-stream position.
+        """
+        return {
+            "rng": generator_state(self._rng),
+            "exhaustions": {str(k): v for k, v in self._exhaustions.items()},
+            "failures": {str(k): v for k, v in self._failures.items()},
+            "first_seen": {str(k): v for k, v in self._first_seen.items()},
+            "requeues": {str(k): v for k, v in self._requeues.items()},
+            "backoff_requeues": self._backoff_requeues,
+            "dead_letters": self.dead_letters.state_dict(),
+            "breaker": self.breaker.state_dict() if self.breaker is not None else None,
+            "watchdog": (
+                self.watchdog.state_dict() if self.watchdog is not None else None
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        restore_generator(self._rng, state["rng"])
+        self._exhaustions = {int(k): int(v) for k, v in state["exhaustions"].items()}
+        self._failures = {int(k): int(v) for k, v in state["failures"].items()}
+        self._first_seen = {int(k): float(v) for k, v in state["first_seen"].items()}
+        self._requeues = {int(k): int(v) for k, v in state["requeues"].items()}
+        self._backoff_requeues = int(state["backoff_requeues"])
+        self.dead_letters.load_state(state["dead_letters"])
+        if self.breaker is not None and state["breaker"] is not None:
+            self.breaker.load_state(state["breaker"])
+        if self.watchdog is not None and state["watchdog"] is not None:
+            self.watchdog.load_state(state["watchdog"])
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilienceEngine(dead_letters={len(self.dead_letters)}, "
+            f"breaker={self.breaker!r}, watchdog={self.watchdog!r})"
+        )

@@ -27,7 +27,7 @@ Two properties matter for fidelity and speed:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Set
+from typing import Callable, Deque, Hashable, Optional, Set
 
 from repro.core.resources import ResourceVector
 from repro.sim.pool import WorkerPool
@@ -44,7 +44,7 @@ class Scheduler:
         self,
         pool: WorkerPool,
         allocation_of: Callable[[SimTask], ResourceVector],
-        allocation_version: Callable[[SimTask], int],
+        allocation_version: Callable[[SimTask], Hashable],
         start_attempt: Callable[[SimTask, Worker], None],
         may_dispatch: Optional[Callable[[SimTask], bool]] = None,
     ) -> None:

@@ -25,6 +25,7 @@ class TaskState(enum.Enum):
     READY = "ready"            # dependencies met, waiting for dispatch
     RUNNING = "running"        # placed on a worker
     COMPLETED = "completed"    # final attempt succeeded
+    QUARANTINED = "quarantined"  # gave up: moved to the dead-letter ledger
 
 
 class AttemptOutcome(enum.Enum):

@@ -20,6 +20,12 @@ from repro.core.resources import ResourceVector
 from repro.sim.faults import FaultConfig, FixedPreemptions, make_fault_config
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.sim.resilience import (
+    CircuitBreakerConfig,
+    ResilienceConfig,
+    RetryPolicyConfig,
+    WatchdogConfig,
+)
 from repro.sim.trace import TraceRecorder
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 
@@ -41,7 +47,36 @@ def _workflow(n=12):
     return WorkflowSpec("golden", tasks)
 
 
-def _config(faults=None, churn=None):
+def _poison_workflow(n=12):
+    """The golden workflow plus one poison task whose memory footprint
+    exceeds every worker (16 GB), so it exhausts on every attempt."""
+    tasks = list(_workflow(n).tasks)
+    tasks.append(
+        TaskSpec(
+            task_id=n,
+            category="proc",
+            consumption=ResourceVector.of(cores=1, memory=48000.0, disk=100.0),
+            duration=40.0,
+        )
+    )
+    return WorkflowSpec("golden", tasks)
+
+
+def _resilience():
+    """The quarantine scenario's policy: every knob exercised at once —
+    bounded retries with jittered backoff, breaker and watchdog."""
+    return ResilienceConfig(
+        retry=RetryPolicyConfig(
+            budget=4, backoff_base=2.0, jitter=0.25, seed=13
+        ),
+        breaker=CircuitBreakerConfig(
+            enabled=True, window=6, failure_threshold=0.5, cooldown=120.0
+        ),
+        watchdog=WatchdogConfig(enabled=True, window=600.0),
+    )
+
+
+def _config(faults=None, churn=None, resilience=None):
     return SimulationConfig(
         allocator=AllocatorConfig(
             algorithm="quantized_bucketing",
@@ -55,11 +90,14 @@ def _config(faults=None, churn=None):
             seed=11,
         ),
         faults=faults,
+        resilience=resilience,
     )
 
 
-def _trace(config) -> str:
-    manager = WorkflowManager(_workflow(), config)
+def _trace(config, workflow=None) -> str:
+    manager = WorkflowManager(
+        workflow if workflow is not None else _workflow(), config
+    )
     recorder = TraceRecorder(manager)
     manager.run()
     return recorder.text()
@@ -86,6 +124,9 @@ SCENARIOS = {
                 max_workers=5,
             )
         )
+    ),
+    "quarantine": lambda: _trace(
+        _config(resilience=_resilience()), workflow=_poison_workflow()
     ),
 }
 

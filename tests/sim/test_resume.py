@@ -34,7 +34,12 @@ from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import ChurnConfig, PoolConfig
 from repro.sim.trace import TraceRecorder
 
-from tests.sim.test_golden_traces import _config, _workflow
+from tests.sim.test_golden_traces import (
+    _config,
+    _poison_workflow,
+    _resilience,
+    _workflow,
+)
 
 #: Config factories for the golden scenarios (fresh objects per call —
 #: a resume must never share mutable state with the original run).
@@ -54,12 +59,23 @@ CONFIGS = {
             max_workers=5,
         )
     ),
+    # Poison task + bounded retries/backoff/breaker/watchdog: kills land
+    # before, during and after the quarantine, so the resilience engine's
+    # jitter stream, dead-letter ledger and breaker state all replay.
+    "quarantine": lambda: _config(resilience=_resilience()),
 }
+
+#: Scenarios that run a different workflow than the shared golden one.
+WORKFLOWS = {"quarantine": _poison_workflow}
+
+
+def _make_workflow(name):
+    return WORKFLOWS.get(name, _workflow)()
 
 
 def _uninterrupted(name):
     """(trace text, total engine events) for the scenario run end-to-end."""
-    manager = WorkflowManager(_workflow(), CONFIGS[name]())
+    manager = WorkflowManager(_make_workflow(name), CONFIGS[name]())
     recorder = TraceRecorder(manager)
     manager.run()
     return recorder.text(), manager.engine.events_processed
@@ -69,7 +85,7 @@ def _kill_and_resume(name, stop_after, path):
     """Run to ``stop_after`` events, snapshot, abandon; resume fresh."""
     # Phase 1: the doomed run.  Snapshot written, manager dropped on the
     # floor mid-flight — exactly what SIGKILL leaves behind.
-    doomed = WorkflowManager(_workflow(), CONFIGS[name]())
+    doomed = WorkflowManager(_make_workflow(name), CONFIGS[name]())
     checkpointer = SimulationCheckpointer(doomed, path)
     doomed.begin()
     doomed.advance(stop_after_events=stop_after)
@@ -77,7 +93,7 @@ def _kill_and_resume(name, stop_after, path):
     del doomed
 
     # Phase 2: the relaunch, as a fresh process would do it.
-    manager = WorkflowManager(_workflow(), CONFIGS[name]())
+    manager = WorkflowManager(_make_workflow(name), CONFIGS[name]())
     recorder = TraceRecorder(manager)
     _, done = resume_simulation_checkpoint(manager, path)
     manager.advance()
