@@ -1,0 +1,68 @@
+"""``reprolint`` — AST-based determinism & crash-safety analysis.
+
+The repo's reproducibility guarantees (bit-identical parallel grids,
+digest-verified resume, golden traces, seeded fault injection) depend
+on coding invariants that runtime tests only catch when a test happens
+to exercise the offending path.  This package enforces them statically:
+
+* ``python -m repro.analysis src`` — CLI with text/JSON output, inline
+  ``# reprolint: disable=RULE`` pragmas, and a committed baseline;
+* ``tests/analysis/test_reprolint_repo.py`` — the same sweep as part of
+  the tier-1 pytest run;
+* the CI ``lint`` lane — reprolint next to ruff and mypy.
+
+Rule catalog and extension guide: ``docs/ANALYSIS.md``.  The package is
+deliberately stdlib-only.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Project,
+    Rule,
+    Severity,
+    all_rules,
+    format_pragma,
+    get_rule,
+    parse_pragma,
+    register_rule,
+)
+from repro.analysis.runner import (
+    analyze_paths,
+    analyze_project,
+    analyze_sources,
+    collect_modules,
+    main,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "Finding",
+    "ModuleSource",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+    "collect_modules",
+    "diff_against_baseline",
+    "format_pragma",
+    "get_rule",
+    "load_baseline",
+    "main",
+    "parse_pragma",
+    "register_rule",
+    "write_baseline",
+]

@@ -1,0 +1,204 @@
+"""Failure-handling rules: swallowed exceptions and listener purity.
+
+R5 ``swallowed-except``
+    In ``repro.sim`` / ``repro.core`` / ``repro.checkpoint``, a bare
+    ``except:`` — or an ``except Exception:``/``except BaseException:``
+    whose body is only ``pass``/``...``/``continue`` — silently eats
+    the invariant-checker and checkpoint errors those layers exist to
+    raise.  Catch something specific or handle the error.
+R6 ``listener-purity``
+    Functions registered via ``engine.add_listener`` run after every
+    event to *observe* (invariant checks, snapshot pacing).  The engine
+    contract forbids them from scheduling events; mutating the clock or
+    worker-pool capacity from a listener would corrupt the very replay
+    determinism the observers audit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Union
+
+from repro.analysis._ast_utils import dotted_name
+from repro.analysis.core import Finding, ModuleSource, Project, Rule, register_rule
+
+__all__ = ["ListenerPurityRule", "SwallowedExceptRule"]
+
+#: Exception names whose blanket capture counts as "broad".
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Attributes a post-event listener may not assign to (the engine clock).
+CLOCK_ATTRS = frozenset({"now", "_now", "_last_event_time"})
+
+#: Calls a post-event listener may not make: event scheduling (the
+#: engine contract) and direct worker/pool capacity mutation.
+FORBIDDEN_LISTENER_CALLS = frozenset(
+    {
+        "schedule",
+        "schedule_at",
+        "preempt_worker",
+        "degrade_worker",
+        "degrade",
+        "add_worker",
+        "remove_worker",
+    }
+)
+
+#: Attributes a listener may not assign to on any object (capacity).
+CAPACITY_ATTRS = frozenset({"capacity", "_capacity"})
+
+
+def _is_noop_body(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptRule(Rule):
+    id = "R5"
+    name = "swallowed-except"
+    description = (
+        "no bare except / no-op 'except Exception: pass' in repro.sim, "
+        "repro.core, or repro.checkpoint"
+    )
+
+    def check(self, module: ModuleSource, project: Project) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        if not module.in_package("repro/sim", "repro/core", "repro/checkpoint.py"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' also swallows KeyboardInterrupt and the "
+                    "invariant checker's violations; catch a specific exception",
+                )
+                continue
+            names = _exception_names(node.type)
+            if names & BROAD_EXCEPTIONS and _is_noop_body(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    f"'except {'/'.join(sorted(names & BROAD_EXCEPTIONS))}' with a "
+                    "no-op body silently discards errors in a determinism-critical "
+                    "path; handle or re-raise",
+                )
+
+
+def _exception_names(node: ast.expr) -> frozenset:
+    if isinstance(node, ast.Tuple):
+        names = set()
+        for elt in node.elts:
+            names |= _exception_names(elt)
+        return frozenset(names)
+    parts = dotted_name(node)
+    return frozenset({parts[-1]}) if parts else frozenset()
+
+
+@register_rule
+class ListenerPurityRule(Rule):
+    id = "R6"
+    name = "listener-purity"
+    description = (
+        "engine post-event listeners must not schedule events, assign the engine "
+        "clock, or mutate worker/pool capacity"
+    )
+
+    def check(self, module: ModuleSource, project: Project) -> Iterable[Finding]:
+        if module.tree is None or not module.in_package("repro"):
+            return
+        for call in ast.walk(module.tree):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "add_listener"
+                and call.args
+            ):
+                continue
+            listener = call.args[0]
+            body = self._resolve_listener(module, listener)
+            if body is None:
+                continue
+            label = self._listener_label(listener)
+            yield from self._audit(module, body, label)
+
+    @staticmethod
+    def _listener_label(listener: ast.expr) -> str:
+        parts = dotted_name(listener)
+        if parts:
+            return ".".join(parts)
+        return "<lambda>" if isinstance(listener, ast.Lambda) else "<listener>"
+
+    def _resolve_listener(
+        self, module: ModuleSource, listener: ast.expr
+    ) -> Optional[Union[ast.Lambda, ast.FunctionDef]]:
+        if isinstance(listener, ast.Lambda):
+            return listener
+        parts = dotted_name(listener)
+        if parts is None or module.tree is None:
+            return None
+        target_name = parts[-1]
+        if len(parts) == 1:
+            for node in module.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name == target_name:
+                    return node
+            return None
+        # ``self._method`` / ``obj.method``: match any same-module method.
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                for stmt in cls.body:
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == target_name:
+                        return stmt
+        return None
+
+    def _audit(
+        self,
+        module: ModuleSource,
+        body: Union[ast.Lambda, ast.FunctionDef],
+        label: str,
+    ) -> Iterable[Finding]:
+        for node in ast.walk(body):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    if target.attr in CLOCK_ATTRS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"listener {label} assigns engine clock attribute "
+                            f"'.{target.attr}'; listeners observe, they never "
+                            "steer time",
+                        )
+                    elif target.attr in CAPACITY_ATTRS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"listener {label} mutates capacity attribute "
+                            f"'.{target.attr}'; capacity changes must flow through "
+                            "scheduled pool events",
+                        )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in FORBIDDEN_LISTENER_CALLS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"listener {label} calls '.{node.func.attr}()'; post-event "
+                    "listeners may not schedule events or mutate pool capacity "
+                    "(engine contract)",
+                )

@@ -1,0 +1,11 @@
+# reprolint test fixture: R1 wall-clock — minimal offender.
+# Scanned with the virtual path repro/sim/fixture.py (in scope).
+import time as _time
+from datetime import datetime
+
+
+def stamp_event(events):
+    events.append((_time.time(), "started"))
+    events.append((_time.monotonic(), "monotonic"))
+    events.append((datetime.now(), "dated"))
+    events.append((datetime.today(), "today"))

@@ -1,0 +1,18 @@
+# reprolint test fixture: R1 wall-clock — clean twin.
+# Uses the engine clock instead of the host clock; time.time appearing
+# in a string or as an attribute of a non-time object must not fire.
+
+
+def stamp_event(engine, events):
+    events.append((engine.now, "started"))
+    note = "docs mention time.time() but never call it"
+    events.append((engine.now, note))
+
+
+class Stopwatch:
+    def time(self):
+        return 0.0
+
+
+def use_local_time(clock: Stopwatch):
+    return clock.time()

@@ -1,0 +1,15 @@
+# reprolint test fixture: R2 global-rng — minimal offender.
+import random
+
+import numpy as np
+from random import randint
+
+
+def jitter():
+    return random.random() + random.uniform(0.0, 1.0)
+
+
+def seed_everything(seed):
+    random.seed(seed)
+    np.random.seed(seed)
+    return np.random.rand(4), randint(0, 10)

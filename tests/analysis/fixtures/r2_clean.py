@@ -1,0 +1,14 @@
+# reprolint test fixture: R2 global-rng — clean twin.
+# Owned, seeded generators are the sanctioned pattern.
+import random
+
+import numpy as np
+
+
+class Sampler:
+    def __init__(self, seed):
+        self._py = random.Random(seed)
+        self._np = np.random.default_rng(seed)
+
+    def draw(self):
+        return self._py.random() + float(self._np.random())

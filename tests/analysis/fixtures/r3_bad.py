@@ -1,0 +1,22 @@
+# reprolint test fixture: R3 state-symmetry — two offenders:
+# a state_dict with no restore path, and a pair whose field sets drift.
+
+
+class NoRestore:
+    def __init__(self):
+        self._count = 0
+
+    def state_dict(self):
+        return {"count": self._count}
+
+
+class FieldDrift:
+    def __init__(self):
+        self._count = 0
+        self._cache = {}
+
+    def state_dict(self):
+        return {"count": self._count, "cache": dict(self._cache)}
+
+    def load_state(self, state):
+        self._count = int(state["count"])

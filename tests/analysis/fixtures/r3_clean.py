@@ -1,0 +1,27 @@
+# reprolint test fixture: R3 state-symmetry — clean twins:
+# a symmetric state_dict/load_state pair and a from_state classmethod.
+
+
+class Symmetric:
+    def __init__(self):
+        self._count = 0
+        self._cache = {}
+
+    def state_dict(self):
+        return {"count": self._count, "cache": dict(self._cache)}
+
+    def load_state(self, state):
+        self._count = int(state["count"])
+        self._cache = dict(state["cache"])
+
+
+class Rebuilt:
+    def __init__(self, count):
+        self.count = count
+
+    def state_dict(self):
+        return {"count": self.count}
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(count=int(state["count"]))

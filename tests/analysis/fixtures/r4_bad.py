@@ -1,0 +1,17 @@
+# reprolint test fixture: R4 raw-artifact-write — minimal offenders.
+import json
+from pathlib import Path
+
+
+def publish_results(path, rows):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle)
+
+
+def publish_text(path, text):
+    Path(path).write_text(text)
+
+
+def append_log(path, line):
+    with open(path, mode="a") as handle:
+        handle.write(line)

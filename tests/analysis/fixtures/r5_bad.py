@@ -1,0 +1,15 @@
+# reprolint test fixture: R5 swallowed-except — minimal offenders.
+
+
+def swallow_everything(task):
+    try:
+        task.run()
+    except:  # noqa: E722  (the rule under test)
+        return None
+
+
+def swallow_quietly(task):
+    try:
+        task.run()
+    except Exception:
+        pass

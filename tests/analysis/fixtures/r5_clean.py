@@ -1,0 +1,20 @@
+# reprolint test fixture: R5 swallowed-except — clean twin.
+# Specific exceptions, and a broad catch that actually handles.
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def handle_specific(task):
+    try:
+        task.run()
+    except KeyError:
+        return None
+
+
+def handle_broadly_but_loudly(task):
+    try:
+        task.run()
+    except Exception as exc:
+        log.warning("task failed: %s", exc)
+        raise

@@ -1,0 +1,15 @@
+# reprolint test fixture: R6 listener-purity — minimal offender.
+# A registered post-event listener that rewinds the clock, schedules,
+# and degrades pool capacity.
+
+
+class MeddlingObserver:
+    def __init__(self, engine, pool):
+        self._engine = engine
+        self._pool = pool
+        engine.add_listener(self._after_event)
+
+    def _after_event(self):
+        self._engine._now = 0.0
+        self._engine.schedule(1.0, lambda: None)
+        self._pool.degrade_worker(0, 0.5)

@@ -1,0 +1,20 @@
+# reprolint test fixture: R6 listener-purity — clean twin.
+# Observes state, keeps its own counters, never steers the engine.
+
+
+class PureObserver:
+    def __init__(self, engine, pool):
+        self._engine = engine
+        self._pool = pool
+        self._events = 0
+        self._last_now = 0.0
+        engine.add_listener(self._after_event)
+
+    def _after_event(self):
+        self._events += 1
+        self._last_now = self._engine.now
+
+
+def schedule_normally(engine):
+    # Scheduling outside a listener is of course allowed.
+    engine.schedule(1.0, lambda: None)

@@ -1,0 +1,19 @@
+# reprolint test fixture: R7 cli-config-drift — offending CLI half.
+# Scanned with the virtual path repro/cli.py next to r7_bad_config.py
+# as repro/experiments/config.py: one dead flag, one stale keyword.
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--tasks", type=int, default=1000)
+    parser.add_argument("--dead-flag", type=int, default=0)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(n_tasks=args.tasks, renamed_away=1)
+    return config

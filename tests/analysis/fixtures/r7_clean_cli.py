@@ -1,0 +1,17 @@
+# reprolint test fixture: R7 cli-config-drift — clean CLI half.
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--tasks", type=int, default=1000)
+    parser.add_argument("--ramp-up", type=float, default=600.0)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(n_tasks=args.tasks, ramp_up_seconds=args.ramp_up)
+    return config.with_(n_tasks=500)

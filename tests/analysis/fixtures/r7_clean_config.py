@@ -1,0 +1,10 @@
+# reprolint test fixture: R7 cli-config-drift — clean config half.
+# Every field is CLI-wired except one, which carries the pragma.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    n_tasks: int = 1000
+    ramp_up_seconds: float = 600.0
+    internal_knob: int = 7  # reprolint: disable=R7  # test-harness only

@@ -1,0 +1,18 @@
+# reprolint test fixture: R8 impure-snapshot — minimal offender.
+# A state_dict that samples its RNG and reads the wall clock while
+# serializing: the snapshot mutates the state it claims to capture.
+import time
+
+
+class DriftingSnapshot:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def state_dict(self):
+        return {
+            "nonce": self._rng.random(),
+            "written_at": time.time(),
+        }
+
+    def load_state(self, state):
+        self._rng = state["nonce"]

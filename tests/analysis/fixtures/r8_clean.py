@@ -1,0 +1,19 @@
+# reprolint test fixture: R8 impure-snapshot — clean twin.
+# Serializes the generator's *state* without drawing from it; RNG
+# draws outside state_dict are allowed (and R1 does not apply outside
+# repro.sim/repro.core scope).
+from repro.checkpoint import generator_state, restore_generator
+
+
+class FaithfulSnapshot:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def step(self):
+        return self._rng.random()
+
+    def state_dict(self):
+        return {"rng": generator_state(self._rng)}
+
+    def load_state(self, state):
+        restore_generator(self._rng, state["rng"])

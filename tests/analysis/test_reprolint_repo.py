@@ -1,0 +1,49 @@
+"""Tier-1 gate: reprolint over the real ``src/`` tree must stay clean.
+
+This is the pytest face of the CI lint lane: any unbaselined finding —
+a new wall-clock read in the simulation, an unpaired ``state_dict``, a
+non-atomic artifact write — fails the default test run, not just the
+lint job.  The committed baseline is expected to be (and stay) empty;
+this test also fails if the baseline silently grows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, diff_against_baseline, load_baseline
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+pytestmark = pytest.mark.analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / DEFAULT_BASELINE_NAME
+
+
+def test_src_tree_is_reprolint_clean():
+    findings = analyze_paths([str(SRC)])
+    diff = diff_against_baseline(findings, load_baseline(str(BASELINE)))
+    assert not diff.new, "new reprolint findings:\n" + "\n".join(
+        f.render() for f in diff.new
+    )
+
+
+def test_committed_baseline_is_empty():
+    baseline = load_baseline(str(BASELINE))
+    assert baseline.fingerprints == frozenset(), (
+        "the baseline must stay empty — fix the violation or add an inline "
+        f"pragma with a reason; entries: {sorted(baseline.fingerprints)}"
+    )
+
+
+def test_analysis_package_is_stdlib_only():
+    # The lint lane runs before dependency install; keep it that way.
+    import repro.analysis.core as core
+    import repro.analysis.runner as runner
+
+    for module in (core, runner):
+        source = Path(module.__file__).read_text()
+        assert "import numpy" not in source and "import scipy" not in source

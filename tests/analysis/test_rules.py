@@ -1,0 +1,124 @@
+"""Golden bad-snippet fixtures: every rule fires on its offender and
+stays silent on the clean twin.
+
+Fixtures live under ``tests/analysis/fixtures/`` and are analyzed with
+*virtual* ``repro/...`` paths so the scoped rules (R1 in sim/core, R5
+in sim/core/checkpoint, ...) see them as in-scope repo files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, analyze_sources
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+pytestmark = pytest.mark.analysis
+
+
+def _read(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def _findings(sources):
+    return analyze_sources(sources)
+
+
+def _rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+#: rule id -> (bad sources, clean sources, expected finding count on bad).
+#: Each source is (virtual_path, fixture_file).
+CASES = {
+    "R1": (
+        [("repro/sim/fixture.py", "r1_bad.py")],
+        [("repro/sim/fixture.py", "r1_clean.py")],
+        4,
+    ),
+    "R2": (
+        [("repro/workflows/fixture.py", "r2_bad.py")],
+        [("repro/workflows/fixture.py", "r2_clean.py")],
+        6,
+    ),
+    "R3": (
+        [("repro/core/fixture.py", "r3_bad.py")],
+        [("repro/core/fixture.py", "r3_clean.py")],
+        2,
+    ),
+    "R4": (
+        [("repro/experiments/fixture.py", "r4_bad.py")],
+        [("repro/experiments/fixture.py", "r4_clean.py")],
+        4,
+    ),
+    "R5": (
+        [("repro/sim/fixture.py", "r5_bad.py")],
+        [("repro/sim/fixture.py", "r5_clean.py")],
+        2,
+    ),
+    "R6": (
+        [("repro/sim/fixture.py", "r6_bad.py")],
+        [("repro/sim/fixture.py", "r6_clean.py")],
+        3,
+    ),
+    "R7": (
+        [
+            ("repro/cli.py", "r7_bad_cli.py"),
+            ("repro/experiments/config.py", "r7_bad_config.py"),
+        ],
+        [
+            ("repro/cli.py", "r7_clean_cli.py"),
+            ("repro/experiments/config.py", "r7_clean_config.py"),
+        ],
+        3,
+    ),
+    "R8": (
+        [("repro/experiments/fixture.py", "r8_bad.py")],
+        [("repro/experiments/fixture.py", "r8_clean.py")],
+        2,
+    ),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_fires_on_bad_fixture(rule_id):
+    bad, _clean, expected_count = CASES[rule_id]
+    findings = _findings([(path, _read(name)) for path, name in bad])
+    fired = [f for f in findings if f.rule == rule_id]
+    assert fired, f"{rule_id} did not fire on its bad fixture"
+    assert len(fired) == expected_count, [f.render() for f in fired]
+    for finding in fired:
+        assert finding.line > 0 and finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_silent_on_clean_twin(rule_id):
+    _bad, clean, _count = CASES[rule_id]
+    findings = _findings([(path, _read(name)) for path, name in clean])
+    assert not findings, [f.render() for f in findings]
+
+
+def test_every_registered_rule_has_a_fixture_case():
+    assert {rule.id for rule in all_rules()} == set(CASES)
+
+
+def test_rule_catalog_metadata():
+    rules = all_rules()
+    assert [r.id for r in rules] == [f"R{i}" for i in range(1, 9)]
+    for rule in rules:
+        assert rule.name and rule.description
+
+
+def test_out_of_scope_paths_do_not_fire_scoped_rules():
+    # The same wall-clock offender outside repro.sim/repro.core is R1-clean.
+    findings = _findings([("repro/experiments/fixture.py", _read("r1_bad.py"))])
+    assert "R1" not in _rules_fired(findings)
+
+
+def test_parse_error_is_reported_not_raised():
+    findings = _findings([("repro/sim/broken.py", "def broken(:\n")])
+    assert [f.rule for f in findings] == ["R0"]
+    assert findings[0].name == "parse-error"
