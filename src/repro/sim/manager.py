@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.allocator import AllocatorConfig, TaskOrientedAllocator
-from repro.core.resources import Resource, ResourceVector, TIME
+from repro.core.resources import TIME, Resource, ResourceVector
 from repro.sim.accounting import Ledger, WasteBreakdown
 from repro.sim.engine import SimulationEngine
 from repro.sim.faults import FaultConfig, FaultInjector, FaultStats
@@ -405,6 +405,7 @@ class WorkflowManager:
         if self._ran:
             raise RuntimeError("a WorkflowManager instance runs exactly once")
         self._ran = True
+        # reprolint: disable=R1  # feeds reporting-only wall_clock_seconds, never the sim
         self._started_wall = _time.perf_counter()
         self._submit_more()
         self._engine.schedule(0.0, self._dispatch)
@@ -462,6 +463,7 @@ class WorkflowManager:
             n_evicted_attempts=self._ledger.n_evicted_attempts,
             workers_joined=self._pool.total_joined,
             workers_left=self._pool.total_left,
+            # reprolint: disable=R1  # reporting-only diagnostic, excluded from digests
             wall_clock_seconds=_time.perf_counter() - self._started_wall,
             fault_stats=self._faults.stats if self._faults is not None else FaultStats(),
             n_quarantined=self._quarantined,

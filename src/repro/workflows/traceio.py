@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.checkpoint import write_text_atomic
 from repro.core.resources import RESOURCES, Resource, ResourceVector
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 
@@ -136,8 +137,8 @@ def workflow_from_records(
 
 
 def save_workflow(workflow: WorkflowSpec, path: Union[str, Path]) -> None:
-    """Write a workflow trace as JSON."""
-    Path(path).write_text(json.dumps(workflow_to_dict(workflow), indent=1))
+    """Write a workflow trace as JSON (atomic: never leaves a torn trace)."""
+    write_text_atomic(str(path), json.dumps(workflow_to_dict(workflow), indent=1))
 
 
 def load_workflow(path: Union[str, Path]) -> WorkflowSpec:
@@ -179,5 +180,5 @@ def export_attempts_csv(
             writer.writerow(row)
     text = buffer.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        write_text_atomic(str(path), text)
     return text
