@@ -60,7 +60,10 @@ def main() -> None:
             f"{ledger.awe_of_category(category, MEMORY):>12.3f}"
             f"{ledger.awe_of_category(category, DISK):>12.3f}"
         )
-    print(f"{'— overall —':16s}{ledger.awe(CORES):>12.3f}{ledger.awe(MEMORY):>12.3f}{ledger.awe(DISK):>12.3f}")
+    print(
+        f"{'— overall —':16s}"
+        f"{ledger.awe(CORES):>12.3f}{ledger.awe(MEMORY):>12.3f}{ledger.awe(DISK):>12.3f}"
+    )
 
     print("\nbucket states at campaign end (memory, MB):")
     for category in ledger.categories():

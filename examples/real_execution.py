@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
 from repro.core.resources import CORES, MEMORY, ResourceVector
-from repro.executor import LocalExecutor, LocalExecutorConfig, LocalTask, reports_awe
+from repro.executor import LocalExecutor, LocalExecutorConfig, reports_awe
 
 
 def analysis_task(size_mb: int) -> float:

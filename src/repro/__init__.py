@@ -33,21 +33,17 @@ The package is organized as:
     rows/series, plus extension studies (scaling, ablations, hybrid).
 """
 
-from repro.core.resources import Resource, ResourceVector
-from repro.core.records import ResourceRecord, RecordList
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
+from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm, make_algorithm
+from repro.core.baselines import MaxSeen, WholeMachine
 from repro.core.buckets import Bucket, BucketState
-from repro.core.greedy import GreedyBucketing
 from repro.core.exhaustive import ExhaustiveBucketing
-from repro.core.baselines import WholeMachine, MaxSeen
-from repro.core.tovar import MinWaste, MaxThroughput
-from repro.core.quantized import QuantizedBucketing
+from repro.core.greedy import GreedyBucketing
 from repro.core.hybrid import HybridBucketing
-from repro.core.allocator import (
-    TaskOrientedAllocator,
-    ExploratoryConfig,
-    AllocatorConfig,
-)
-from repro.core.base import AllocationAlgorithm, make_algorithm, ALGORITHM_REGISTRY
+from repro.core.quantized import QuantizedBucketing
+from repro.core.records import RecordList, ResourceRecord
+from repro.core.resources import Resource, ResourceVector
+from repro.core.tovar import MaxThroughput, MinWaste
 
 __version__ = "1.0.0"
 

@@ -39,7 +39,7 @@ import signal as _signal
 import tempfile
 import threading
 import time as _time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "FORMAT_VERSION",

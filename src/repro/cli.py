@@ -23,8 +23,19 @@ import sys
 from typing import List, Optional
 
 from repro.checkpoint import GracefulShutdown, GridInterrupted, write_text_atomic
-from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1
-from repro.experiments import ablation, convergence, hybrid_study, robustness, scaling
+from repro.experiments import (
+    ablation,
+    convergence,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    hybrid_study,
+    robustness,
+    scaling,
+    table1,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.sim.faults import FAULT_PROFILES, make_fault_config
 from repro.sim.resilience import (

@@ -24,30 +24,26 @@ This subpackage contains the paper's primary contribution:
   exploratory bootstrap, and applies the retry/doubling policy.
 """
 
-from repro.core.resources import Resource, ResourceVector
-from repro.core.records import ResourceRecord, RecordList
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
+from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm, make_algorithm
+from repro.core.baselines import MaxSeen, WholeMachine
 from repro.core.buckets import Bucket, BucketState
-from repro.core.base import AllocationAlgorithm, make_algorithm, ALGORITHM_REGISTRY
-from repro.core.greedy import GreedyBucketing
 from repro.core.exhaustive import ExhaustiveBucketing
-from repro.core.baselines import WholeMachine, MaxSeen
-from repro.core.tovar import MinWaste, MaxThroughput
-from repro.core.quantized import QuantizedBucketing
-from repro.core.kmeans import KMeansBucketing
+from repro.core.greedy import GreedyBucketing
 from repro.core.hybrid import HybridBucketing
-from repro.core.allocator import (
-    TaskOrientedAllocator,
-    ExploratoryConfig,
-    AllocatorConfig,
-)
+from repro.core.kmeans import KMeansBucketing
+from repro.core.quantized import QuantizedBucketing
+from repro.core.records import RecordList, ResourceRecord
+from repro.core.resources import Resource, ResourceVector
 from repro.core.significance import (
+    ExponentialDecaySignificance,
     SignificancePolicy,
     TaskIdSignificance,
     UniformSignificance,
-    ExponentialDecaySignificance,
     WindowSignificance,
     make_significance_policy,
 )
+from repro.core.tovar import MaxThroughput, MinWaste
 
 __all__ = [
     "Resource",

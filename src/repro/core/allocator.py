@@ -33,8 +33,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.checkpoint import CheckpointError, generator_state, restore_generator
-from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm, make_algorithm
-from repro.core.significance import SignificancePolicy, make_significance_policy
+from repro.core.base import ALGORITHM_REGISTRY, AllocationAlgorithm
 from repro.core.resources import (
     CORES,
     DISK,
@@ -46,6 +45,7 @@ from repro.core.resources import (
     Resource,
     ResourceVector,
 )
+from repro.core.significance import SignificancePolicy, make_significance_policy
 
 __all__ = [
     "ExploratoryConfig",

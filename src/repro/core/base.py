@@ -22,13 +22,13 @@ records ever crosses the interface.
 from __future__ import annotations
 
 import abc
-from typing import Callable, ClassVar, Dict, Optional, Type
+from typing import ClassVar, Dict, Optional, Type
 
 import numpy as np
 
 from repro.checkpoint import CheckpointError, generator_state, restore_generator
 from repro.core.buckets import BucketState
-from repro.core.records import RecordList, ResourceRecord
+from repro.core.records import RecordList
 
 __all__ = [
     "AllocationAlgorithm",

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocator import TaskOrientedAllocator
-from repro.core.base import AllocationAlgorithm, BucketingAlgorithm
+from repro.core.base import BucketingAlgorithm
 from repro.core.resources import Resource
 
 __all__ = ["StateSnapshot", "StateProbe", "AllocatorProbe"]

@@ -26,7 +26,7 @@ over the sorted values using prefix sums.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -26,11 +26,11 @@ Linux-only (relies on ``fork`` and ``RLIMIT_AS``).
 """
 
 from repro.executor.local import (
+    ExecutionReport,
+    LocalAttempt,
     LocalExecutor,
     LocalExecutorConfig,
     LocalTask,
-    LocalAttempt,
-    ExecutionReport,
     reports_awe,
 )
 

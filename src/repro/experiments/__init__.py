@@ -27,8 +27,8 @@ Every module exposes ``run(...) -> <result object>`` and ``render(...)
   the trimodal workflow (E-X5).
 """
 
-from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS, PAPER_WORKFLOWS
-from repro.experiments.runner import run_cell, run_grid, GridResult
+from repro.experiments.config import PAPER_ALGORITHMS, PAPER_WORKFLOWS, ExperimentConfig
+from repro.experiments.runner import GridResult, run_cell, run_grid
 
 __all__ = [
     "ExperimentConfig",

@@ -17,11 +17,11 @@ behaviour it exists for:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.allocator import ExploratoryConfig
 from repro.core.resources import MEMORY
-from repro.experiments.config import ExperimentConfig, make_workflow
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_cell
 
@@ -150,7 +150,14 @@ def render(result: AblationResult) -> str:
             format_table(
                 headers=["variant", "workflow", "algorithm", "AWE(mem)", "failed", "attempts"],
                 rows=[
-                    (r.variant, r.workflow, r.algorithm, r.awe_memory, r.failed_attempts, r.attempts)
+                    (
+                        r.variant,
+                        r.workflow,
+                        r.algorithm,
+                        r.awe_memory,
+                        r.failed_attempts,
+                        r.attempts,
+                    )
                     for r in rows
                 ],
                 title=f"E-X2 ablation — {study}",

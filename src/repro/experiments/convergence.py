@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.resources import MEMORY
-from repro.experiments.config import ExperimentConfig, make_workflow
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.runner import run_cell
 from repro.metrics.summary import convergence_series

@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
-from repro.core.resources import CORES, DISK, MEMORY, TIME, Resource
+from repro.core.resources import CORES, DISK, MEMORY, Resource
 from repro.experiments.reporting import format_table
 from repro.workflows.colmena import make_colmena_workflow
 from repro.workflows.spec import WorkflowSpec

@@ -25,11 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    PAPER_ALGORITHMS,
-    PAPER_WORKFLOWS,
-)
+from repro.experiments.config import PAPER_ALGORITHMS, PAPER_WORKFLOWS, ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import GridResult, run_grid
 

@@ -15,16 +15,12 @@ larger failed share than Max Seen and the bucketing algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    PAPER_ALGORITHMS,
-    PAPER_WORKFLOWS,
-)
+from repro.experiments.config import PAPER_ALGORITHMS, PAPER_WORKFLOWS, ExperimentConfig
+from repro.experiments.figure5 import REPORTED_RESOURCES
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import GridResult, run_grid
-from repro.experiments.figure5 import REPORTED_RESOURCES
 
 __all__ = ["Figure6Result", "FIGURE6_ALGORITHMS", "run", "render"]
 

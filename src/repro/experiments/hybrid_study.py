@@ -13,10 +13,10 @@ bucketing algorithms' lead in memory and disk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.resources import CORES, DISK, MEMORY
-from repro.experiments.config import ExperimentConfig, make_workflow
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_cell
 

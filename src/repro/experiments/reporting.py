@@ -7,7 +7,7 @@ the numbers (not the pixels) are what a reproduction is compared on.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.checkpoint import write_json_atomic, write_text_atomic
 

@@ -25,15 +25,15 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.checkpoint import (
+    SIMULATION_KIND,
     CheckpointError,
     GracefulShutdown,
     GridInterrupted,
     SimulationCheckpointer,
     SimulationInterrupted,
-    SIMULATION_KIND,
     append_jsonl,
     load_checkpoint,
     read_jsonl,
@@ -41,9 +41,9 @@ from repro.checkpoint import (
     write_text_atomic,
 )
 from repro.experiments.config import (
-    ExperimentConfig,
     PAPER_ALGORITHMS,
     PAPER_WORKFLOWS,
+    ExperimentConfig,
     make_workflow,
 )
 from repro.metrics.summary import EfficiencySummary, summarize_result
@@ -161,7 +161,8 @@ def _stable_repr(obj: Any) -> str:
     if obj is None or dataclasses.is_dataclass(obj):
         return repr(obj)
     attrs = ",".join(
-        f"{name}={_stable_repr(value) if not isinstance(value, (int, float, str, bool)) else value!r}"
+        f"{name}="
+        + (repr(value) if isinstance(value, (int, float, str, bool)) else _stable_repr(value))
         for name, value in sorted(vars(obj).items())
     )
     return f"{type(obj).__qualname__}({attrs})"

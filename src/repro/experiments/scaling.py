@@ -13,10 +13,10 @@ and convergence transients amortize.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.resources import MEMORY
-from repro.experiments.config import ExperimentConfig, make_workflow
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_cell
 from repro.metrics.summary import convergence_series

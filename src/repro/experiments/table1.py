@@ -15,9 +15,10 @@ implementation; the growth *ratio* is the reproduced quantity.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -48,14 +49,14 @@ def time_algorithm(
 ) -> float:
     """Average seconds for one state computation + allocation."""
     rng = np.random.default_rng(seed)
-    if algorithm == "greedy_bucketing":
-        compute = lambda: greedy_break_indices(records)
-    elif algorithm == "greedy_bucketing_literal":
-        compute = lambda: greedy_break_indices_literal(records)
-    elif algorithm == "exhaustive_bucketing":
-        compute = lambda: exhaustive_break_indices(records)
-    else:
+    breakers = {
+        "greedy_bucketing": greedy_break_indices,
+        "greedy_bucketing_literal": greedy_break_indices_literal,
+        "exhaustive_bucketing": exhaustive_break_indices,
+    }
+    if algorithm not in breakers:
         raise KeyError(f"table1 only times the bucketing algorithms, not {algorithm!r}")
+    compute = functools.partial(breakers[algorithm], records)
     total = 0.0
     for _ in range(repeats):
         start = time.perf_counter()

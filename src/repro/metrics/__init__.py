@@ -7,17 +7,17 @@ formulas of Section II-C live in exactly one place
 closed-form per-task form used to cross-check it).
 """
 
-from repro.metrics.waste import (
-    task_resource_waste,
-    task_internal_fragmentation,
-    task_failed_allocation,
-)
-from repro.metrics.efficiency import awe_from_tasks, awe_from_ledger
+from repro.metrics.efficiency import awe_from_ledger, awe_from_tasks
 from repro.metrics.summary import (
     EfficiencySummary,
-    summarize_result,
-    summarize_grid,
     convergence_series,
+    summarize_grid,
+    summarize_result,
+)
+from repro.metrics.waste import (
+    task_failed_allocation,
+    task_internal_fragmentation,
+    task_resource_waste,
 )
 
 __all__ = [

@@ -8,7 +8,7 @@ series used by the scaling study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.resources import Resource
 from repro.sim.manager import SimulationResult

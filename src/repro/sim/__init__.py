@@ -20,34 +20,34 @@ evicted attempt held are tracked separately from the paper's two waste
 classes so AWE remains worker-count independent (Section II-C).
 """
 
-from repro.sim.engine import SimulationEngine
-from repro.sim.task import SimTask, Attempt, AttemptOutcome, TaskState
-from repro.sim.worker import Worker
-from repro.sim.pool import WorkerPool, PoolConfig, ChurnConfig
-from repro.sim.profiles import (
-    ConsumptionProfile,
-    LinearRampProfile,
-    StepProfile,
-    InstantPeakProfile,
-)
 from repro.sim.accounting import Ledger, WasteBreakdown
-from repro.sim.scheduler import Scheduler
+from repro.sim.engine import SimulationEngine
 from repro.sim.faults import (
+    DegradationConfig,
+    DispatchFaultConfig,
     FaultConfig,
     FaultInjector,
     FaultStats,
     FixedPreemptions,
     PoissonPreemptions,
-    TracePreemptions,
     TaskKillConfig,
-    DispatchFaultConfig,
-    DegradationConfig,
+    TracePreemptions,
     make_fault_config,
 )
 from repro.sim.invariants import InvariantChecker, InvariantViolation
-from repro.sim.manager import WorkflowManager, SimulationConfig, SimulationResult
+from repro.sim.manager import SimulationConfig, SimulationResult, WorkflowManager
 from repro.sim.observability import Timeline, TimelineRecorder, TimelineSample
+from repro.sim.pool import ChurnConfig, PoolConfig, WorkerPool
+from repro.sim.profiles import (
+    ConsumptionProfile,
+    InstantPeakProfile,
+    LinearRampProfile,
+    StepProfile,
+)
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Attempt, AttemptOutcome, SimTask, TaskState
 from repro.sim.trace import SimEvent, TraceRecorder
+from repro.sim.worker import Worker
 
 __all__ = [
     "SimulationEngine",

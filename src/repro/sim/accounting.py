@@ -19,11 +19,11 @@ never enters AWE.  Per-category breakdowns and a running AWE series
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
 
-from repro.core.resources import RESOURCES, TIME, Resource, ResourceVector
-from repro.sim.task import Attempt, AttemptOutcome, SimTask
+from repro.core.resources import RESOURCES, TIME, Resource
+from repro.sim.task import AttemptOutcome, SimTask
 
 __all__ = ["WasteBreakdown", "TaskUsage", "Ledger"]
 

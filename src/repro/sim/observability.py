@@ -21,7 +21,7 @@ events and stops when the pool stops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.resources import Resource
 from repro.sim.manager import WorkflowManager

@@ -15,7 +15,7 @@ grid deterministic.  Examples and robustness tests switch it on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -108,10 +108,14 @@ class WorkerPool:
         self._total_left = 0
         self._stopped = False
         self.on_worker_joined: Optional[Callable[[Worker], None]] = None
-        self.on_worker_leaving: Optional[Callable[[Worker, Dict[int, ResourceVector]], None]] = None
+        self.on_worker_leaving: Optional[
+            Callable[[Worker, Dict[int, ResourceVector]], None]
+        ] = None
         #: Fired when a worker's capacity shrinks in place with
         #: ``evicted`` = {task_id: allocation} for tasks that no longer fit.
-        self.on_worker_degraded: Optional[Callable[[Worker, Dict[int, ResourceVector]], None]] = None
+        self.on_worker_degraded: Optional[
+            Callable[[Worker, Dict[int, ResourceVector]], None]
+        ] = None
 
         ramp = self._config.ramp_up_seconds
         if ramp <= 0:

@@ -23,7 +23,7 @@ Uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Mapping
 
 from repro.core.resources import ResourceVector
 

@@ -14,28 +14,28 @@
   example applications.
 """
 
+from repro.workflows.colmena import make_colmena_workflow
+from repro.workflows.dag import DynamicDAG
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 from repro.workflows.synthetic import (
-    SyntheticSpec,
-    make_synthetic_workflow,
-    make_mixed_workflow,
-    normal_workflow,
-    uniform_workflow,
-    exponential_workflow,
-    bimodal_workflow,
-    trimodal_workflow,
     SYNTHETIC_WORKFLOWS,
+    SyntheticSpec,
+    bimodal_workflow,
+    exponential_workflow,
+    make_mixed_workflow,
+    make_synthetic_workflow,
+    normal_workflow,
+    trimodal_workflow,
+    uniform_workflow,
 )
-from repro.workflows.colmena import make_colmena_workflow
 from repro.workflows.topeft import make_topeft_workflow
-from repro.workflows.dag import DynamicDAG
 from repro.workflows.traceio import (
-    save_workflow,
+    export_attempts_csv,
     load_workflow,
+    save_workflow,
+    workflow_from_dict,
     workflow_from_records,
     workflow_to_dict,
-    workflow_from_dict,
-    export_attempts_csv,
 )
 
 __all__ = [

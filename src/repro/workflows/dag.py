@@ -13,7 +13,7 @@ networkx backs the graph so examples can also inspect structure
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 

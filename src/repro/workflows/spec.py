@@ -14,8 +14,8 @@ DAG-structured applications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.core.resources import Resource, ResourceVector
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.core.allocator import (
-    AllocatorConfig,
-    DEFAULT_MAX_SEEN_GRANULARITY,
-    ExploratoryConfig,
-    TaskOrientedAllocator,
-)
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
 from repro.core.resources import (
     CORES,
     DISK,

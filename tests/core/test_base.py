@@ -1,6 +1,5 @@
 """Tests for the algorithm base contract and registry."""
 
-import numpy as np
 import pytest
 
 from repro.core.base import (

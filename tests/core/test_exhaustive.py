@@ -1,6 +1,5 @@
 """Tests for Exhaustive Bucketing (Algorithm 2)."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -10,9 +10,12 @@ valid partitions and fall back to the exact search on every k-th record.
 import numpy as np
 import pytest
 
-from repro.core.exhaustive import ExhaustiveBucketing, evenly_spaced_break_indices
+from repro.core.exhaustive import (
+    ExhaustiveBucketing,
+    evenly_spaced_break_indices,
+    exhaustive_break_indices,
+)
 from repro.core.greedy import GreedyBucketing, greedy_break_indices
-from repro.core.exhaustive import exhaustive_break_indices
 from repro.core.records import RecordList
 
 

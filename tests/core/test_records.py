@@ -1,6 +1,5 @@
 """Tests for ResourceRecord / RecordList."""
 
-import numpy as np
 import pytest
 
 from repro.core.records import RecordList, ResourceRecord

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.significance import (
-    ExponentialDecaySignificance,
     SIGNIFICANCE_REGISTRY,
+    ExponentialDecaySignificance,
     TaskIdSignificance,
     UniformSignificance,
     WindowSignificance,

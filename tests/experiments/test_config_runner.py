@@ -4,9 +4,9 @@ import pytest
 
 from repro.core.resources import MEMORY
 from repro.experiments.config import (
-    ExperimentConfig,
     PAPER_ALGORITHMS,
     PAPER_WORKFLOWS,
+    ExperimentConfig,
     make_workflow,
 )
 from repro.experiments.runner import run_cell, run_grid

@@ -7,7 +7,7 @@ minute while preserving enough signal for the shape assertions.
 
 import pytest
 
-from repro.core.resources import CORES, DISK, MEMORY
+from repro.core.resources import DISK, MEMORY
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_cell, run_grid
 

@@ -12,8 +12,6 @@ must uphold the structural invariants regardless of algorithm:
 * the run is deterministic given its seeds.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

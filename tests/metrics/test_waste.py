@@ -80,8 +80,16 @@ class TestPerTaskWaste:
         tasks = [
             build_task(
                 [
-                    (ResourceVector.of(cores=1, memory=200 + 50 * i, disk=150), 30.0, AttemptOutcome.EXHAUSTED),
-                    (ResourceVector.of(cores=2, memory=900, disk=150), 100.0, AttemptOutcome.SUCCESS),
+                    (
+                        ResourceVector.of(cores=1, memory=200 + 50 * i, disk=150),
+                        30.0,
+                        AttemptOutcome.EXHAUSTED,
+                    ),
+                    (
+                        ResourceVector.of(cores=2, memory=900, disk=150),
+                        100.0,
+                        AttemptOutcome.SUCCESS,
+                    ),
                 ]
             )
             for i in range(4)

@@ -144,8 +144,16 @@ class TestAggregation:
                 consumption=ResourceVector.of(cores=1, memory=400 + 50 * task_id, disk=100),
                 duration=60.0 + task_id,
                 attempts=[
-                    (ResourceVector.of(cores=1, memory=300, disk=200), 20.0, AttemptOutcome.EXHAUSTED),
-                    (ResourceVector.of(cores=2, memory=700, disk=200), 60.0 + task_id, AttemptOutcome.SUCCESS),
+                    (
+                        ResourceVector.of(cores=1, memory=300, disk=200),
+                        20.0,
+                        AttemptOutcome.EXHAUSTED,
+                    ),
+                    (
+                        ResourceVector.of(cores=2, memory=700, disk=200),
+                        60.0 + task_id,
+                        AttemptOutcome.SUCCESS,
+                    ),
                 ],
             )
             ledger.record_task(task)
@@ -169,7 +177,11 @@ class TestAggregation:
             completed_task(
                 task_id=1,
                 attempts=[
-                    (ResourceVector.of(cores=1, memory=1000, disk=100), 100.0, AttemptOutcome.SUCCESS)
+                    (
+                        ResourceVector.of(cores=1, memory=1000, disk=100),
+                        100.0,
+                        AttemptOutcome.SUCCESS,
+                    )
                 ],
             )
         )
@@ -182,8 +194,16 @@ class TestAggregation:
         ledger.record_task(
             completed_task(
                 attempts=[
-                    (ResourceVector.of(cores=1, memory=250, disk=100), 10.0, AttemptOutcome.EXHAUSTED),
-                    (ResourceVector.of(cores=1, memory=1000, disk=100), 100.0, AttemptOutcome.SUCCESS),
+                    (
+                        ResourceVector.of(cores=1, memory=250, disk=100),
+                        10.0,
+                        AttemptOutcome.EXHAUSTED,
+                    ),
+                    (
+                        ResourceVector.of(cores=1, memory=1000, disk=100),
+                        100.0,
+                        AttemptOutcome.SUCCESS,
+                    ),
                 ]
             )
         )

@@ -19,7 +19,7 @@ class TestSimulationEngine:
         engine = SimulationEngine()
         fired = []
         for label in "abc":
-            engine.schedule(1.0, lambda l=label: fired.append(l))
+            engine.schedule(1.0, lambda mark=label: fired.append(mark))
         engine.run()
         assert fired == ["a", "b", "c"]
 

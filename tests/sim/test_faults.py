@@ -1,7 +1,8 @@
 """Unit tests for the deterministic fault-injection subsystem."""
 
-import pytest
 from pathlib import Path
+
+import pytest
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
 from repro.core.resources import ResourceVector

@@ -11,7 +11,7 @@ import pytest
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
 from repro.core.resources import MEMORY, ResourceVector
 from repro.sim.faults import FaultConfig, PoissonPreemptions, TaskKillConfig
-from repro.sim.invariants import InvariantChecker, InvariantViolation
+from repro.sim.invariants import InvariantViolation
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import PoolConfig
 from repro.sim.task import Attempt, AttemptOutcome, SimTask

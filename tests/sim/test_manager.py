@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
-from repro.core.resources import CORES, DISK, MEMORY, ResourceVector
+from repro.core.resources import MEMORY, ResourceVector
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import ChurnConfig, PoolConfig
-from repro.sim.profiles import LinearRampProfile
 from repro.sim.task import AttemptOutcome
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 

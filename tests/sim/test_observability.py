@@ -6,7 +6,7 @@ from repro.core.allocator import AllocatorConfig
 from repro.core.resources import ResourceVector
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.observability import TimelineRecorder
-from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.sim.pool import PoolConfig
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.resources import CORES, ResourceVector
+from repro.core.resources import ResourceVector
 from repro.sim.engine import SimulationEngine
 from repro.sim.pool import ChurnConfig, PoolConfig, WorkerPool
 

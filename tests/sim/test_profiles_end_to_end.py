@@ -1,6 +1,5 @@
 """Kill-model profiles through the full simulator: price of failure."""
 
-import pytest
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
 from repro.core.resources import MEMORY, ResourceVector

@@ -16,7 +16,6 @@ The canonical resume flow exercised throughout::
     manager.finish()         # worker events past workflow completion
 """
 
-from pathlib import Path
 
 import pytest
 
@@ -31,7 +30,7 @@ from repro.checkpoint import (
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
 from repro.sim.faults import FaultConfig, FixedPreemptions, make_fault_config
 from repro.sim.manager import SimulationConfig, WorkflowManager
-from repro.sim.pool import ChurnConfig, PoolConfig
+from repro.sim.pool import ChurnConfig
 from repro.sim.trace import TraceRecorder
 
 from tests.sim.test_golden_traces import (

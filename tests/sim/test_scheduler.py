@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.resources import CORES, MEMORY, ResourceVector
+from repro.core.resources import MEMORY, ResourceVector
 from repro.sim.engine import SimulationEngine
 from repro.sim.pool import PoolConfig, WorkerPool
 from repro.sim.scheduler import Scheduler

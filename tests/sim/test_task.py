@@ -77,7 +77,9 @@ class TestSimTask:
 
     def test_attempt_indices_enforced(self):
         task = SimTask(make_spec())
-        task.record_attempt(make_attempt(index=0, outcome=AttemptOutcome.EXHAUSTED, exhausted=(MEMORY,)))
+        task.record_attempt(
+            make_attempt(index=0, outcome=AttemptOutcome.EXHAUSTED, exhausted=(MEMORY,))
+        )
         with pytest.raises(ValueError, match="out of order"):
             task.record_attempt(make_attempt(index=5))
 

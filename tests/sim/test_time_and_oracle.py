@@ -3,17 +3,9 @@
 import pytest
 
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
-from repro.core.resources import (
-    CORES,
-    DISK,
-    MEMORY,
-    TIME,
-    PAPER_EXPLORATORY_ALLOCATION,
-    ResourceVector,
-)
+from repro.core.resources import CORES, DISK, MEMORY, TIME, ResourceVector
 from repro.sim.manager import SimulationConfig, WorkflowManager
 from repro.sim.pool import PoolConfig
-from repro.sim.task import AttemptOutcome
 from repro.workflows.spec import TaskSpec, WorkflowSpec
 from repro.workflows.synthetic import make_synthetic_workflow
 

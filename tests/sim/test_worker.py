@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.resources import CORES, DISK, MEMORY, ResourceVector
+from repro.core.resources import CORES, MEMORY, ResourceVector
 from repro.sim.worker import Worker
 
 
