@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.checkpoint import CheckpointError, generator_state, restore_generator
 from repro.core.buckets import BucketState
+from repro.core.kernels import partition_stats
 from repro.core.records import RecordList
 
 __all__ = [
@@ -180,13 +181,16 @@ class BucketingAlgorithm(AllocationAlgorithm):
         rng: Optional[np.random.Generator] = None,
         record_capacity: Optional[int] = None,
         rebucket_interval: int = 1,
+        record_compaction: str = "evict_min",
     ) -> None:
         super().__init__(rng=rng)
         if rebucket_interval < 1:
             raise ValueError(
                 f"rebucket_interval must be >= 1, got {rebucket_interval}"
             )
-        self._records = RecordList(capacity=record_capacity)
+        self._records = RecordList(
+            capacity=record_capacity, compaction=record_compaction
+        )
         self._rebucket_interval = rebucket_interval
         self._state: Optional[BucketState] = None
         self._dirty = True
@@ -194,17 +198,43 @@ class BucketingAlgorithm(AllocationAlgorithm):
         self._reanchors = 0
         self._updates_since_recompute = 0
         self._cached_break_values: Optional[np.ndarray] = None
+        self._partition_engine = self._make_partition_engine()
 
-    # -- subclass hook ---------------------------------------------------------
+    # -- subclass hooks ---------------------------------------------------------
 
     @abc.abstractmethod
     def compute_break_indices(self, records: RecordList) -> list:
         """Partition the record list; return sorted bucket-end indices."""
 
+    def _make_partition_engine(self):
+        """Optional incremental partition engine bound to ``self._records``.
+
+        Subclasses return an object with ``observe(value, eviction)``,
+        ``invalidate()``, ``cache_state()`` and ``restore_cache(state)``
+        (see :class:`repro.core.exhaustive.IncrementalExhaustivePartition`)
+        to have per-record mutations streamed into it; ``None`` (the
+        default) keeps the classic recompute-from-scratch behaviour.
+        The engine is re-created whenever the record list is replaced
+        (:meth:`reset`, :meth:`_load_extra_state`).
+        """
+        return None
+
+    @property
+    def partition_engine(self):
+        """The incremental partition engine, or ``None``."""
+        return self._partition_engine
+
     # -- contract ----------------------------------------------------------------
 
     def update(self, value: float, significance: float = 1.0, task_id: int = -1) -> None:
-        self._records.add(value=value, significance=significance, task_id=task_id)
+        pos = self._records.add(value=value, significance=significance, task_id=task_id)
+        engine = self._partition_engine
+        if engine is not None:
+            eviction = self._records.last_eviction
+            # pos None with no eviction = the reservoir filter rejected
+            # the arrival: nothing was inserted.
+            inserted = None if (pos is None and eviction is None) else float(value)
+            engine.observe(inserted, eviction, pos)
         self._dirty = True
         self._updates_since_recompute += 1
 
@@ -248,10 +278,32 @@ class BucketingAlgorithm(AllocationAlgorithm):
             else:
                 breaks = self._reanchor_break_indices()
                 self._reanchors += 1
-            self._state = BucketState(self._records, breaks)
-            self._cached_break_values = self._records.values[
-                np.asarray(breaks, dtype=np.intp)
-            ]
+            # Stats are handed to the state via the precomputed fast
+            # path (bit-identical to recomputation; see BucketState).
+            # A partition engine that just scored this exact breaks
+            # object hands back the winner's stats directly; otherwise
+            # one O(buckets) pass over the prefix buffers rebuilds them.
+            stats = None
+            engine = self._partition_engine
+            if engine is not None:
+                consume = getattr(engine, "consume_stats", None)
+                if consume is not None:
+                    stats = consume(breaks)
+            if stats is not None:
+                # Engine-scored partition: breaks and stats are freshly
+                # built by our own search, so the state adopts them
+                # without re-validating (the trusted hot path).
+                self._state = BucketState(
+                    self._records, breaks, stats=stats, trusted=True
+                )
+            else:
+                stats = partition_stats(self._records, breaks)
+                self._state = BucketState(self._records, breaks, stats=stats)
+            if self._rebucket_interval > 1:
+                # Boundary values only feed re-anchoring, which never
+                # runs at the paper-exact interval of 1 — skip the
+                # buffer read on the per-decision hot path.
+                self._cached_break_values = self._records.values_at(breaks)
             self._dirty = False
         return self._state
 
@@ -266,8 +318,8 @@ class BucketingAlgorithm(AllocationAlgorithm):
         terminates the partition.
         """
         assert self._cached_break_values is not None
-        values = self._records.values
         n = len(self._records)
+        values = self._records._values_buf[:n]
         idx = np.searchsorted(values, self._cached_break_values, side="right") - 1
         idx = idx[idx >= 0]
         breaks: list = []
@@ -303,13 +355,17 @@ class BucketingAlgorithm(AllocationAlgorithm):
         return self._rebucket_interval
 
     def reset(self) -> None:
-        self._records = RecordList(capacity=self._records.capacity)
+        self._records = RecordList(
+            capacity=self._records.capacity,
+            compaction=self._records.compaction,
+        )
         self._state = None
         self._dirty = True
         self._recomputations = 0
         self._reanchors = 0
         self._updates_since_recompute = 0
         self._cached_break_values = None
+        self._partition_engine = self._make_partition_engine()
 
     # -- checkpointing ------------------------------------------------------------
 
@@ -333,10 +389,23 @@ class BucketingAlgorithm(AllocationAlgorithm):
             "bucket_state": (
                 None if self._state is None else self._state.state_dict()
             ),
+            # Incremental partition caches either serialize bit-exactly
+            # (the greedy splice cache) or are rebuilt on load (the
+            # exhaustive engine's exact counts return None here).
+            "partition_cache": (
+                None
+                if self._partition_engine is None
+                else self._partition_engine.cache_state()
+            ),
         }
 
     def _load_extra_state(self, state: dict) -> None:
         self._records = RecordList.from_state(state["records"])
+        self._partition_engine = self._make_partition_engine()
+        if self._partition_engine is not None:
+            cache = state.get("partition_cache")
+            if cache is not None:
+                self._partition_engine.restore_cache(cache)
         self._dirty = bool(state["dirty"])
         self._recomputations = int(state["recomputations"])
         self._reanchors = int(state["reanchors"])

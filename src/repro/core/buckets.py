@@ -25,6 +25,7 @@ Prediction (shared by Greedy and Exhaustive Bucketing):
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -81,19 +82,71 @@ class BucketState:
     last break index must be ``len(records) - 1`` (every record belongs
     to exactly one bucket).  ``BucketState.single(records)`` builds the
     one-bucket state.
+
+    Per-bucket stats are stored as plain Python lists and the derived
+    numpy arrays (:attr:`reps`, :attr:`probs`, :attr:`estimates`) are
+    materialized lazily: a state is rebuilt once per allocation decision
+    in large simulations, the prediction draw only needs a binary search
+    over ~10 cumulative probabilities, and at that size list operations
+    beat numpy dispatch (docs/PERFORMANCE.md).
     """
 
-    __slots__ = ("_buckets", "_reps", "_probs", "_estimates", "_cumprobs", "_n_records")
+    __slots__ = (
+        "_lazy_buckets",
+        "_breaks",
+        "_reps_l",
+        "_probs_l",
+        "_estimates_l",
+        "_cumprobs_l",
+        "_arrays",
+        "_n_records",
+    )
 
-    def __init__(self, records: RecordList, break_indices: Sequence[int]) -> None:
+    def __init__(
+        self,
+        records: RecordList,
+        break_indices: Sequence[int],
+        stats: Optional[
+            Tuple[Sequence[float], Sequence[float], Sequence[float]]
+        ] = None,
+        trusted: bool = False,
+    ) -> None:
         n = len(records)
         if n == 0:
             raise ValueError("cannot build a BucketState from an empty record list")
+        if trusted and stats is not None:
+            # Hot-path constructor for the per-decision state rebuild:
+            # the caller (BucketingAlgorithm.state) owns freshly built
+            # break/stat lists straight out of the partition search, so
+            # re-validating and re-coercing them here only burns time in
+            # the region the insert memmove just cache-evicted.  The
+            # lists are adopted without copying — callers must hand over
+            # ownership.
+            self._breaks: List[int] = break_indices  # type: ignore[assignment]
+            reps_l, probs_l, estimates_l = stats  # type: ignore[assignment]
+            self._lazy_buckets = None
+            self._reps_l = reps_l  # type: ignore[assignment]
+            self._probs_l = probs_l  # type: ignore[assignment]
+            self._estimates_l = estimates_l  # type: ignore[assignment]
+            self._arrays = None
+            acc = 0.0
+            cum_l: List[float] = []
+            for p in probs_l:
+                acc += p
+                cum_l.append(acc)
+            self._cumprobs_l = [c / acc for c in cum_l]
+            self._n_records = n
+            return
         breaks = list(break_indices)
         if not breaks:
             raise ValueError("break_indices must contain at least the last index")
-        if breaks != sorted(set(breaks)):
-            raise ValueError(f"break indices must be strictly increasing: {breaks}")
+        prev = breaks[0]
+        for b in breaks[1:]:
+            if b <= prev:
+                raise ValueError(
+                    f"break indices must be strictly increasing: {breaks}"
+                )
+            prev = b
         if breaks[-1] != n - 1:
             raise ValueError(
                 f"last break index must be {n - 1} (got {breaks[-1]}): every "
@@ -102,35 +155,74 @@ class BucketState:
         if breaks[0] < 0:
             raise IndexError(f"negative break index: {breaks[0]}")
 
-        total_sig = records.total_significance()
-        buckets: List[Bucket] = []
-        lo = 0
-        for hi in breaks:
-            rep = records.max_value(lo, hi)
-            # The prefix-sum weighted mean can exceed the bucket max by a
-            # few ulps through cancellation; clamp, since the estimate is
-            # a mean of values that are all <= rep by construction.
-            estimate = min(records.weighted_mean(lo, hi), rep)
-            buckets.append(
-                Bucket(
-                    lo=lo,
-                    hi=hi,
-                    rep=rep,
-                    prob=records.sig_sum(lo, hi) / total_sig,
-                    estimate=estimate,
+        self._breaks = breaks
+        if stats is not None:
+            # Precomputed-stats fast path: the partition search already
+            # derived (reps, probs, estimates) for the winning
+            # configuration via repro.core.kernels.partition_stats (or
+            # the fused loops in select_best_partition), which reads
+            # the prefix buffers in this constructor's exact
+            # float-operation order — reusing them is bit-identical to
+            # recomputing.  The per-bucket Bucket objects are built
+            # lazily (see :attr:`buckets`) and the invariants checked
+            # with scalar loops: K <= 10 on the paper path, where
+            # dataclass construction and numpy reductions were profiled
+            # hotspots of the per-decision state rebuild.
+            reps_in, probs_in, estimates_in = stats
+            if not (
+                len(reps_in) == len(probs_in) == len(estimates_in) == len(breaks)
+            ):
+                raise ValueError("stats arrays must align with break_indices")
+            reps_l = [float(v) for v in reps_in]
+            probs_l = [float(v) for v in probs_in]
+            estimates_l = [float(v) for v in estimates_in]
+            for rep, prob, est in zip(reps_l, probs_l, estimates_l):
+                if not (0.0 <= prob <= 1.0 + 1e-12):
+                    raise ValueError(f"bucket probability out of range: {prob}")
+                if est > rep + 1e-9 * max(1.0, abs(rep)):
+                    raise ValueError(
+                        f"bucket estimate {est} exceeds representative {rep}"
+                    )
+            self._lazy_buckets: Optional[Tuple[Bucket, ...]] = None
+        else:
+            buckets: List[Bucket] = []
+            lo = 0
+            total_sig = records.total_significance()
+            for hi in breaks:
+                rep = records.max_value(lo, hi)
+                # The prefix-sum weighted mean can exceed the bucket max
+                # by a few ulps through cancellation; clamp, since the
+                # estimate is a mean of values that are all <= rep by
+                # construction.
+                estimate = min(records.weighted_mean(lo, hi), rep)
+                buckets.append(
+                    Bucket(
+                        lo=lo,
+                        hi=hi,
+                        rep=rep,
+                        prob=records.sig_sum(lo, hi) / total_sig,
+                        estimate=estimate,
+                    )
                 )
-            )
-            lo = hi + 1
-        self._buckets: Tuple[Bucket, ...] = tuple(buckets)
-        self._reps = np.array([b.rep for b in buckets], dtype=np.float64)
-        self._probs = np.array([b.prob for b in buckets], dtype=np.float64)
-        self._estimates = np.array([b.estimate for b in buckets], dtype=np.float64)
-        # Normalized cumulative probabilities for O(log n) inverse-CDF
+                lo = hi + 1
+            self._lazy_buckets = tuple(buckets)
+            reps_l = [b.rep for b in buckets]
+            probs_l = [b.prob for b in buckets]
+            estimates_l = [b.estimate for b in buckets]
+        self._reps_l = reps_l
+        self._probs_l = probs_l
+        self._estimates_l = estimates_l
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Normalized cumulative probabilities for O(log K) inverse-CDF
         # draws — the allocator draws once per dispatch, so this is a
-        # hot path in large simulations.
-        cum = np.cumsum(self._probs)
-        cum /= cum[-1]
-        self._cumprobs = cum
+        # hot path in large simulations.  The running sum matches
+        # np.cumsum's sequential accumulation bit-for-bit.
+        acc = 0.0
+        cum_l = []
+        for p in probs_l:
+            acc += p
+            cum_l.append(acc)
+        self._cumprobs_l = [c / acc for c in cum_l]
         self._n_records = n
 
     @staticmethod
@@ -151,9 +243,9 @@ class BucketState:
         """
         return {
             "buckets": [
-                [b.lo, b.hi, b.rep, b.prob, b.estimate] for b in self._buckets
+                [b.lo, b.hi, b.rep, b.prob, b.estimate] for b in self.buckets
             ],
-            "cumprobs": self._cumprobs.tolist(),
+            "cumprobs": list(self._cumprobs_l),
             "n_records": self._n_records,
         }
 
@@ -168,11 +260,13 @@ class BucketState:
             )
             for lo, hi, rep, prob, est in state["buckets"]
         )
-        new._buckets = buckets
-        new._reps = np.array([b.rep for b in buckets], dtype=np.float64)
-        new._probs = np.array([b.prob for b in buckets], dtype=np.float64)
-        new._estimates = np.array([b.estimate for b in buckets], dtype=np.float64)
-        new._cumprobs = np.asarray(state["cumprobs"], dtype=np.float64)
+        new._lazy_buckets = buckets
+        new._breaks = [b.hi for b in buckets]
+        new._reps_l = [b.rep for b in buckets]
+        new._probs_l = [b.prob for b in buckets]
+        new._estimates_l = [b.estimate for b in buckets]
+        new._arrays = None
+        new._cumprobs_l = [float(c) for c in state["cumprobs"]]
         new._n_records = int(state["n_records"])
         return new
 
@@ -180,48 +274,85 @@ class BucketState:
 
     @property
     def buckets(self) -> Tuple[Bucket, ...]:
-        return self._buckets
+        if self._lazy_buckets is None:
+            built: List[Bucket] = []
+            lo = 0
+            for j, hi in enumerate(self._breaks):
+                built.append(
+                    Bucket(
+                        lo=lo,
+                        hi=hi,
+                        rep=self._reps_l[j],
+                        prob=self._probs_l[j],
+                        estimate=self._estimates_l[j],
+                    )
+                )
+                lo = hi + 1
+            self._lazy_buckets = tuple(built)
+        return self._lazy_buckets
+
+    def _materialize(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self._reps_l, dtype=np.float64),
+                np.asarray(self._probs_l, dtype=np.float64),
+                np.asarray(self._estimates_l, dtype=np.float64),
+            )
+            self._arrays = arrays
+        return arrays
 
     @property
     def reps(self) -> np.ndarray:
         """Representative values, ascending (read-only view)."""
-        return self._reps
+        return self._materialize()[0]
 
     @property
     def probs(self) -> np.ndarray:
         """Probability values, summing to 1 (read-only view)."""
-        return self._probs
+        return self._materialize()[1]
 
     @property
     def estimates(self) -> np.ndarray:
         """Weighted-mean consumption estimates per bucket."""
-        return self._estimates
+        return self._materialize()[2]
 
     @property
     def n_records(self) -> int:
         return self._n_records
 
     def __len__(self) -> int:
-        return len(self._buckets)
+        return len(self._breaks)
 
     def __getitem__(self, index: int) -> Bucket:
-        return self._buckets[index]
+        return self.buckets[index]
 
     def __repr__(self) -> str:
-        reps = ", ".join(f"{b.rep:g}@{b.prob:.3f}" for b in self._buckets)
+        reps = ", ".join(f"{b.rep:g}@{b.prob:.3f}" for b in self.buckets)
         return f"BucketState([{reps}])"
 
     # -- prediction ---------------------------------------------------------------
 
     def choose_bucket(self, rng: np.random.Generator) -> Bucket:
         """Draw a bucket with the probability values (Section IV-A)."""
-        idx = int(np.searchsorted(self._cumprobs, rng.random(), side="right"))
-        idx = min(idx, len(self._buckets) - 1)
-        return self._buckets[idx]
+        # float() unwraps the numpy scalar so bisect compares native
+        # floats (a numpy-scalar comparison per probe costs ~5x more).
+        idx = bisect_right(self._cumprobs_l, float(rng.random()))
+        idx = min(idx, len(self._breaks) - 1)
+        return self.buckets[idx]
 
     def first_allocation(self, rng: np.random.Generator) -> float:
-        """Allocation for a fresh task: the drawn bucket's representative."""
-        return self.choose_bucket(rng).rep
+        """Allocation for a fresh task: the drawn bucket's representative.
+
+        Reads the representative list directly rather than going
+        through :meth:`choose_bucket` — this runs once per dispatched
+        task and must not force the lazy ``Bucket`` materialization.
+        ``bisect_right`` and ``np.searchsorted(..., side="right")``
+        agree on every input, so the draw is unchanged.
+        """
+        idx = bisect_right(self._cumprobs_l, float(rng.random()))
+        idx = min(idx, len(self._breaks) - 1)
+        return self._reps_l[idx]
 
     def retry_allocation(
         self, previous_allocation: float, rng: np.random.Generator
@@ -236,33 +367,39 @@ class BucketState:
         task's observed peak (Section IV-A).
         """
         # Representatives ascend, so the eligible buckets are a suffix.
-        first = int(np.searchsorted(self._reps, previous_allocation, side="right"))
-        n = len(self._buckets)
+        reps = self._reps_l
+        first = bisect_right(reps, previous_allocation)
+        n = len(self._breaks)
         if first >= n:
             return None
         if first == n - 1:
-            return float(self._reps[-1])
-        probs = self._probs[first:]
-        cum = np.cumsum(probs)
-        total = cum[-1]
+            return reps[-1]
+        # Running cumulative sum matches np.cumsum bit-for-bit.
+        cum = []
+        total = 0.0
+        for p in self._probs_l[first:]:
+            total += p
+            cum.append(total)
         if total <= 0.0:
             # Degenerate (all significance in lower buckets): take the
             # first eligible representative.
-            return float(self._reps[first])
-        idx = first + int(np.searchsorted(cum / total, rng.random(), side="right"))
+            return reps[first]
+        draw = float(rng.random())
+        idx = first + bisect_right([c / total for c in cum], draw)
         idx = min(idx, n - 1)
-        return float(self._reps[idx])
+        return reps[idx]
 
     # -- invariant helper (used by tests and debug assertions) ----------------------
 
     def validate(self) -> None:
         """Raise AssertionError if any structural invariant is violated."""
-        assert self._buckets, "state must have at least one bucket"
-        assert abs(self._probs.sum() - 1.0) < 1e-9, "probabilities must sum to 1"
-        assert self._buckets[0].lo == 0
-        assert self._buckets[-1].hi == self._n_records - 1
-        for prev, cur in zip(self._buckets, self._buckets[1:]):
+        buckets = self.buckets
+        assert buckets, "state must have at least one bucket"
+        assert abs(sum(self._probs_l) - 1.0) < 1e-9, "probabilities must sum to 1"
+        assert buckets[0].lo == 0
+        assert buckets[-1].hi == self._n_records - 1
+        for prev, cur in zip(buckets, buckets[1:]):
             assert cur.lo == prev.hi + 1, "buckets must tile the record list"
             assert cur.rep >= prev.rep, "representatives must be non-decreasing"
-        for b in self._buckets:
+        for b in buckets:
             assert b.estimate <= b.rep + 1e-9, "estimate cannot exceed representative"

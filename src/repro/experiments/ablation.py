@@ -12,6 +12,11 @@ behaviour it exists for:
   better first buckets but more bootstrap waste.
 * **Exhaustive Bucketing's bucket cap** (``max_buckets``, paper: 10):
   fewer candidate configurations trade fidelity for speed.
+* **Bounded record stores** (``record_capacity`` x compaction policy):
+  AWE cost of forgetting history, relative to the paper's unbounded
+  store — the quality side of the million-record hot-path work
+  (docs/PERFORMANCE.md).  Each bounded row carries an ``awe_delta``
+  against the unbounded reference.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ __all__ = [
     "run_significance_ablation",
     "run_exploration_ablation",
     "run_bucket_cap_ablation",
+    "run_capacity_ablation",
     "run",
     "render",
 ]
@@ -45,6 +51,10 @@ class AblationRow:
     awe_memory: float
     failed_attempts: int
     attempts: int
+    #: AWE difference vs the study's reference variant (None when the
+    #: row *is* the reference, or the study has no reference).  Negative
+    #: = better than the reference.
+    awe_delta: Optional[float] = None
 
 
 @dataclass
@@ -131,35 +141,93 @@ def run_bucket_cap_ablation(
     return rows
 
 
+def run_capacity_ablation(
+    config: Optional[ExperimentConfig] = None,
+    workflow: str = "trimodal",
+    algorithm: str = "exhaustive_bucketing",
+    capacities: Sequence[int] = (100, 500, 2000),
+    policies: Sequence[str] = ("evict_min", "decay", "reservoir"),
+) -> List[AblationRow]:
+    """Bounded record stores: AWE impact of capacity x compaction policy.
+
+    The paper retains every completed-task record, which is what makes
+    the allocation hot path O(history).  Bounding the store caps both
+    memory and per-insert cost, at the price of forgetting: each
+    (capacity, policy) cell is compared against the unbounded reference
+    run on the same stream, and the row's ``awe_delta`` carries the
+    AWE(mem) change attributable to the bound (negative = the bounded
+    store *improved* AWE, which recency-biased eviction can do on
+    phasing workflows by forgetting stale phases faster).
+
+    Policies are the :class:`~repro.core.records.RecordList` compaction
+    modes: ``evict_min`` (sliding window over significance), ``decay``
+    (significance-decay batch compaction) and ``reservoir``
+    (deterministic seeded reservoir downsampling).
+    """
+    import dataclasses
+
+    config = config if config is not None else ExperimentConfig()
+    reference = run_cell(workflow, algorithm, config)
+    rows: List[AblationRow] = [
+        _row("capacity", "unbounded (paper)", workflow, algorithm, reference)
+    ]
+    ref_awe = rows[0].awe_memory
+    for policy in policies:
+        for capacity in capacities:
+            result = run_cell(
+                workflow,
+                algorithm,
+                config,
+                algorithm_kwargs={
+                    "record_capacity": capacity,
+                    "record_compaction": policy,
+                },
+            )
+            row = _row(
+                "capacity",
+                f"{policy} cap={capacity}",
+                workflow,
+                algorithm,
+                result,
+            )
+            rows.append(
+                dataclasses.replace(row, awe_delta=row.awe_memory - ref_awe)
+            )
+    return rows
+
+
 def run(config: Optional[ExperimentConfig] = None) -> AblationResult:
-    """Run all three ablations."""
+    """Run all four ablations."""
     rows: List[AblationRow] = []
     rows.extend(run_significance_ablation(config))
     rows.extend(run_exploration_ablation(config))
     rows.extend(run_bucket_cap_ablation(config))
+    rows.extend(run_capacity_ablation(config))
     return AblationResult(rows=rows)
 
 
 def render(result: AblationResult) -> str:
     parts: List[str] = []
-    for study in ("significance", "exploration", "bucket_cap"):
+    for study in ("significance", "exploration", "bucket_cap", "capacity"):
         rows = result.of_study(study)
         if not rows:
             continue
+        with_delta = any(r.awe_delta is not None for r in rows)
+        headers = ["variant", "workflow", "algorithm", "AWE(mem)"]
+        if with_delta:
+            headers.append("dAWE")
+        headers += ["failed", "attempts"]
+        table_rows = []
+        for r in rows:
+            cells: List[object] = [r.variant, r.workflow, r.algorithm, r.awe_memory]
+            if with_delta:
+                cells.append("-" if r.awe_delta is None else f"{r.awe_delta:+.4f}")
+            cells += [r.failed_attempts, r.attempts]
+            table_rows.append(tuple(cells))
         parts.append(
             format_table(
-                headers=["variant", "workflow", "algorithm", "AWE(mem)", "failed", "attempts"],
-                rows=[
-                    (
-                        r.variant,
-                        r.workflow,
-                        r.algorithm,
-                        r.awe_memory,
-                        r.failed_attempts,
-                        r.attempts,
-                    )
-                    for r in rows
-                ],
+                headers=headers,
+                rows=table_rows,
                 title=f"E-X2 ablation — {study}",
             )
         )

@@ -1,0 +1,335 @@
+"""Incremental partition engines vs the full searches they shadow.
+
+The exhaustive engine (:class:`IncrementalExhaustivePartition`) claims
+*identity* with :func:`exhaustive_break_indices` — the hypothesis suite
+here is the acceptance proof.  The greedy engine
+(:class:`IncrementalGreedyPartition`) claims only a weaker fixpoint
+property (every bucket locally unsplittable), which is what its suite
+checks, along with the fragmentation bound and the bit-exact cache
+round-trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exhaustive import (
+    ExhaustiveBucketing,
+    IncrementalExhaustivePartition,
+    exhaustive_break_indices,
+)
+from repro.core.greedy import (
+    GreedyBucketing,
+    IncrementalGreedyPartition,
+    greedy_break_indices,
+)
+from repro.core.kernels import partition_stats
+from repro.core.records import RecordList
+
+# -- strategies ---------------------------------------------------------------
+
+streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.01, max_value=1e3, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def feed(records, engine, value, significance=1.0, task_id=-1):
+    """One streamed arrival, wired exactly as BucketingAlgorithm.update."""
+    pos = records.add(value, significance=significance, task_id=task_id)
+    eviction = records.last_eviction
+    inserted = None if (pos is None and eviction is None) else float(value)
+    engine.observe(inserted, eviction, pos)
+    return pos
+
+
+# -- exhaustive engine: identity with the full search -------------------------
+
+
+@given(streams)
+@settings(deadline=None)
+def test_incremental_equals_full_search_unbounded(pairs):
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for task_id, (value, sig) in enumerate(pairs):
+        feed(records, engine, value, sig, task_id)
+        assert engine.break_indices() == exhaustive_break_indices(records)
+
+
+@pytest.mark.parametrize("policy", ["evict_min", "decay", "reservoir"])
+@given(streams)
+@settings(deadline=None)
+def test_incremental_equals_full_search_bounded(policy, pairs):
+    """Evictions — single, batch and reservoir swaps — never break identity."""
+    records = RecordList(capacity=7, compaction=policy)
+    engine = IncrementalExhaustivePartition(records)
+    for task_id, (value, sig) in enumerate(pairs):
+        feed(records, engine, value, sig, task_id)
+        assert engine.break_indices() == exhaustive_break_indices(records)
+
+
+@given(streams, st.integers(min_value=1, max_value=10))
+@settings(deadline=None)
+def test_incremental_equals_full_search_any_bucket_cap(pairs, max_buckets):
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records, max_buckets=max_buckets)
+    for task_id, (value, sig) in enumerate(pairs):
+        feed(records, engine, value, sig, task_id)
+        assert engine.break_indices() == exhaustive_break_indices(
+            records, max_buckets=max_buckets
+        )
+
+
+@given(streams)
+@settings(deadline=None)
+def test_incremental_equals_full_search_interleaved_queries(pairs):
+    """Querying only sometimes (batched completions) changes nothing."""
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for task_id, (value, sig) in enumerate(pairs):
+        feed(records, engine, value, sig, task_id)
+        if task_id % 3 == 0:
+            assert engine.break_indices() == exhaustive_break_indices(records)
+    assert engine.break_indices() == exhaustive_break_indices(records)
+
+
+def test_shift_cache_path_stays_exact_without_resync():
+    """Inserts below every candidate ride the O(1) shift cache, exactly."""
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for i, value in enumerate([5000.0, 8000.0, 12000.0, 20000.0]):
+        feed(records, engine, value, significance=float(i + 1), task_id=i)
+    assert engine.break_indices() == exhaustive_break_indices(records)
+    assert engine.resyncs == 1
+    # min candidate is v_max / 10 = 2000; everything below it takes the
+    # base/shift fast path and must reuse the cached configurations.
+    for i, value in enumerate([3.0, 170.0, 42.0, 999.0, 1500.0, 0.5] * 5):
+        feed(records, engine, value, significance=1.0, task_id=100 + i)
+        assert engine.break_indices() == exhaustive_break_indices(records)
+    assert engine.resyncs == 1  # never fell back to a full remap
+
+
+def test_new_maximum_desyncs_then_resyncs_exactly():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for i, value in enumerate([100.0, 200.0, 300.0]):
+        feed(records, engine, value, task_id=i)
+    assert engine.break_indices() == exhaustive_break_indices(records)
+    assert engine.synced
+    feed(records, engine, 10_000.0, task_id=3)  # moves every candidate
+    assert not engine.synced
+    assert engine.break_indices() == exhaustive_break_indices(records)
+    assert engine.synced and engine.resyncs == 2
+
+
+def test_single_bucket_engine_has_no_candidates():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records, max_buckets=1)
+    assert engine.n_candidates == 0
+    assert not engine.cheaper_than_full()
+    feed(records, engine, 10.0)
+    assert engine.break_indices() == [0]
+
+
+def test_break_indices_empty_records_returns_none():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    assert engine.break_indices() is None
+
+
+# -- exhaustive engine: consume_stats contract --------------------------------
+
+
+def test_consume_stats_matches_partition_stats_bit_exactly():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for i, value in enumerate([100.0, 250.0, 400.0, 900.0, 1500.0, 2500.0]):
+        feed(records, engine, value, significance=float(i + 1), task_id=i)
+    breaks = engine.break_indices()
+    stats = engine.consume_stats(breaks)
+    assert stats is not None
+    reps, probs, estimates = stats
+    ref_reps, ref_probs, ref_estimates = partition_stats(records, breaks)
+    assert reps == ref_reps  # exact float equality, not approx
+    assert probs == ref_probs
+    assert estimates == ref_estimates
+
+
+def test_consume_stats_is_one_shot_and_identity_keyed():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for i, value in enumerate([10.0, 500.0, 900.0, 1300.0]):
+        feed(records, engine, value, task_id=i)
+    breaks = engine.break_indices()
+    # An equal-but-distinct list is refused: the stats belong to the
+    # exact object the engine just scored.
+    assert engine.consume_stats(list(breaks)) is None
+    assert engine.consume_stats(breaks) is not None
+    assert engine.consume_stats(breaks) is None  # cleared on use
+
+
+# -- exhaustive engine: checkpoint contract (rebuilt on load) -----------------
+
+
+def test_exhaustive_cache_state_rebuilds_on_load():
+    records = RecordList()
+    engine = IncrementalExhaustivePartition(records)
+    for i, value in enumerate([50.0, 600.0, 1200.0, 4000.0]):
+        feed(records, engine, value, task_id=i)
+    expected = engine.break_indices()
+    assert engine.cache_state() is None  # nothing serialized
+    restored = IncrementalExhaustivePartition(records)
+    restored.restore_cache(None)
+    assert not restored.synced
+    assert restored.break_indices() == expected  # resynced from the records
+
+
+def test_exhaustive_bucketing_state_roundtrip_mid_stream():
+    """Kill/resume the whole algorithm mid-stream: identical continuations."""
+    rng = np.random.default_rng(3)
+    values = rng.lognormal(mean=6.0, sigma=1.0, size=60).tolist()
+
+    def fresh():
+        return ExhaustiveBucketing(rng=np.random.default_rng(17), record_capacity=25)
+
+    original = fresh()
+    for i, value in enumerate(values[:30]):
+        original.update(value, significance=float(i + 1), task_id=i)
+        original.predict()
+    # JSON round-trip, as the checkpoint file would.
+    snapshot = json.loads(json.dumps(original.state_dict()))
+    resumed = fresh()
+    resumed.load_state(snapshot)
+
+    for i, value in enumerate(values[30:], start=30):
+        original.update(value, significance=float(i + 1), task_id=i)
+        resumed.update(value, significance=float(i + 1), task_id=i)
+        assert resumed.predict() == original.predict()
+    assert resumed.records.values.tolist() == original.records.values.tolist()
+    assert [b.hi for b in resumed.state.buckets] == [
+        b.hi for b in original.state.buckets
+    ]
+
+
+# -- greedy engine: local repair ----------------------------------------------
+
+
+def greedy_feed(records, engine, value, significance=1.0, task_id=-1):
+    return feed(records, engine, value, significance, task_id)
+
+
+@given(streams)
+@settings(deadline=None)
+def test_greedy_repair_yields_valid_unsplittable_tiling(pairs):
+    """After every query: a strict tiling whose buckets are all fixpoints."""
+    records = RecordList()
+    engine = IncrementalGreedyPartition(records)
+    for task_id, (value, sig) in enumerate(pairs):
+        greedy_feed(records, engine, value, sig, task_id)
+        breaks = engine.break_indices()
+        n = len(records)
+        assert breaks[-1] == n - 1
+        assert all(b2 > b1 for b1, b2 in zip(breaks, breaks[1:]))
+        assert breaks[0] >= 0
+        # Locality fixpoint: the greedy rule declines to split any bucket.
+        lo = 0
+        for hi in breaks:
+            assert greedy_break_indices(records, lo, hi) == [hi]
+            lo = hi + 1
+
+
+def test_greedy_fragmentation_bound_forces_resync():
+    records = RecordList()
+    engine = IncrementalGreedyPartition(records)
+    for i, value in enumerate([100.0, 200.0, 5000.0, 9000.0]):
+        greedy_feed(records, engine, value, task_id=i)
+    engine.break_indices()
+    full = greedy_break_indices(records)
+    # Restore an over-fragmented cache: the last full search allegedly
+    # produced 1 bucket, but the cache carries len(records) of them —
+    # past MAX_FRAGMENTATION, so the next query must re-search.
+    engine.restore_cache(
+        {"breaks": list(range(len(records))), "dirty": [], "full_count": 1}
+    )
+    before = engine.resyncs
+    assert engine.break_indices() == full
+    assert engine.resyncs == before + 1
+
+
+def test_greedy_engine_desyncs_on_eviction():
+    records = RecordList(capacity=5)
+    engine = IncrementalGreedyPartition(records)
+    for i, value in enumerate([10.0, 20.0, 3000.0, 4000.0, 5000.0]):
+        greedy_feed(records, engine, value, significance=float(i + 1), task_id=i)
+    engine.break_indices()
+    assert engine.synced
+    greedy_feed(records, engine, 7000.0, significance=10.0, task_id=9)  # evicts
+    assert not engine.synced
+    assert engine.break_indices() == greedy_break_indices(records)
+
+
+def test_greedy_cache_roundtrip_is_bit_identical():
+    records = RecordList()
+    engine = IncrementalGreedyPartition(records)
+    for i, value in enumerate([10.0, 20.0, 3000.0, 4000.0, 9000.0]):
+        greedy_feed(records, engine, value, significance=float(i + 1), task_id=i)
+    engine.break_indices()
+    # Leave a pending repair in the cache: the dirty set must survive.
+    greedy_feed(records, engine, 15.0, significance=7.0, task_id=10)
+    cache = json.loads(json.dumps(engine.cache_state()))
+    restored = IncrementalGreedyPartition(records)
+    restored.restore_cache(cache)
+    assert restored.synced
+    assert restored.break_indices() == engine.break_indices()
+    assert restored.cache_state() == engine.cache_state()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "garbage",
+        {"breaks": []},
+        {"breaks": [0, 2], "dirty": [5], "full_count": 1},  # dirty out of range
+        {"breaks": [0, 2], "dirty": [], "full_count": 0},
+        {"breaks": [0, "x"], "dirty": [], "full_count": 1},
+    ],
+)
+def test_greedy_restore_rejects_malformed_state(bad):
+    records = RecordList()
+    engine = IncrementalGreedyPartition(records)
+    for i, value in enumerate([10.0, 20.0, 30.0]):
+        greedy_feed(records, engine, value, task_id=i)
+    engine.break_indices()
+    engine.restore_cache(bad)
+    assert not engine.synced
+    assert engine.break_indices() == greedy_break_indices(records)
+
+
+def test_greedy_engine_is_opt_in_and_refused_under_bucket_cap():
+    assert GreedyBucketing().partition_engine is None  # off by default
+    assert GreedyBucketing(incremental=True).partition_engine is not None
+    # The cap couples segments globally; locality (and the engine) is out.
+    assert GreedyBucketing(incremental=True, max_buckets=4).partition_engine is None
+
+
+def test_greedy_bucketing_incremental_stream_matches_engine_fixpoint():
+    """The wired-up algorithm produces the engine's tiling, not garbage."""
+    algo = GreedyBucketing(rng=np.random.default_rng(0), incremental=True)
+    rng = np.random.default_rng(12)
+    for i, value in enumerate(rng.normal(800.0, 200.0, size=80)):
+        algo.update(max(float(value), 1.0), significance=float(i + 1), task_id=i)
+        assert algo.predict() is not None
+    breaks = [b.hi for b in algo.state.buckets]
+    records = algo.records
+    assert breaks[-1] == len(records) - 1
+    lo = 0
+    for hi in breaks:
+        assert greedy_break_indices(records, lo, hi) == [hi]
+        lo = hi + 1

@@ -1,0 +1,127 @@
+"""The benchmark regression gate: noise guards and failure detection.
+
+scripts/bench_compare.py gates CI on BENCH_core.json regressions; the
+two noise guards (best-of-repeats merging, sub-millisecond absolute
+floor) exist so that scheduler jitter cannot fail a build — but a real
+regression still must.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[2] / "scripts" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def write_bench(path, metrics):
+    path.write_text(json.dumps({"metrics": metrics}))
+    return str(path)
+
+
+# -- merge_best ---------------------------------------------------------------
+
+
+def test_merge_best_takes_min_timing_and_max_speedup():
+    merged = bench_compare.merge_best(
+        [
+            {"ingest_s": 0.5, "speedup_x": 3.0, "rss_mb": 120.0},
+            {"ingest_s": 0.4, "speedup_x": 2.0, "rss_mb": 140.0},
+            {"ingest_s": 0.6, "speedup_x": 4.0},
+        ]
+    )
+    assert merged["ingest_s"] == 0.4  # best (min) timing
+    assert merged["speedup_x"] == 4.0  # best (max) speedup
+    assert merged["rss_mb"] == 120.0  # footprints: lower is better
+
+
+def test_merge_best_keeps_metrics_missing_from_some_runs():
+    merged = bench_compare.merge_best([{"a_s": 1.0}, {"b_s": 2.0}])
+    assert merged == {"a_s": 1.0, "b_s": 2.0}
+
+
+# -- compare ------------------------------------------------------------------
+
+
+def test_compare_flags_timing_regression_beyond_threshold():
+    lines = bench_compare.compare({"ingest_s": 1.0}, {"ingest_s": 1.3}, threshold=0.20)
+    assert len(lines) == 1 and "ingest_s" in lines[0]
+
+
+def test_compare_passes_within_threshold_and_improvements():
+    assert bench_compare.compare({"ingest_s": 1.0}, {"ingest_s": 1.15}, 0.20) == []
+    assert bench_compare.compare({"ingest_s": 1.0}, {"ingest_s": 0.5}, 0.20) == []
+
+
+def test_compare_flags_speedup_drop():
+    lines = bench_compare.compare({"fast_x": 10.0}, {"fast_x": 7.0}, threshold=0.20)
+    assert len(lines) == 1 and "fast_x" in lines[0]
+    assert bench_compare.compare({"fast_x": 10.0}, {"fast_x": 9.0}, 0.20) == []
+
+
+def test_sub_millisecond_timings_are_exempt_from_relative_gate():
+    # 3x slower but still under the 1 ms floor: timer noise, not a regression.
+    assert bench_compare.compare({"tiny_s": 0.0001}, {"tiny_s": 0.0003}, 0.20) == []
+    # Above the floor the same relative swing is fatal.
+    lines = bench_compare.compare({"big_s": 0.01}, {"big_s": 0.03}, 0.20)
+    assert len(lines) == 1
+    # The floor is configurable.
+    lines = bench_compare.compare(
+        {"tiny_s": 0.0001}, {"tiny_s": 0.0003}, 0.20, abs_floor_s=0.0
+    )
+    assert len(lines) == 1
+
+
+def test_floor_does_not_exempt_non_timing_metrics():
+    lines = bench_compare.compare({"rss_mb": 0.0001}, {"rss_mb": 0.01}, 0.20)
+    assert len(lines) == 1  # _mb is a footprint, not a timer read
+
+
+def test_metrics_in_only_one_file_are_never_compared():
+    assert bench_compare.compare({"old_s": 1.0}, {"new_s": 9.9}, 0.20) == []
+
+
+# -- main: end-to-end exit codes ----------------------------------------------
+
+
+def test_main_ok_and_failure_exit_codes(tmp_path, capsys):
+    base = write_bench(tmp_path / "base.json", {"ingest_s": 1.0, "speed_x": 4.0})
+    good = write_bench(tmp_path / "good.json", {"ingest_s": 1.05, "speed_x": 4.1})
+    bad = write_bench(tmp_path / "bad.json", {"ingest_s": 2.0, "speed_x": 4.0})
+    assert bench_compare.main([base, good]) == 0
+    assert bench_compare.main([base, bad]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "ingest_s" in out
+
+
+def test_main_best_of_repeats_hides_one_noisy_run(tmp_path):
+    base = write_bench(tmp_path / "base.json", {"ingest_s": 1.0})
+    noisy = write_bench(tmp_path / "noisy.json", {"ingest_s": 2.0})
+    clean = write_bench(tmp_path / "clean.json", {"ingest_s": 1.02})
+    # Alone, the noisy run fails; merged with a clean repeat it passes.
+    assert bench_compare.main([base, noisy]) == 1
+    assert bench_compare.main([base, noisy, clean]) == 0
+
+
+def test_main_new_metrics_are_reported_not_fatal(tmp_path, capsys):
+    base = write_bench(tmp_path / "base.json", {"ingest_s": 1.0})
+    cur = write_bench(
+        tmp_path / "cur.json", {"ingest_s": 1.0, "brand_new_n1000000_s": 5.0}
+    )
+    assert bench_compare.main([base, cur]) == 0
+    assert "only in current" in capsys.readouterr().out
+
+
+def test_main_rejects_non_bench_json(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"not_metrics": {}}))
+    with pytest.raises(SystemExit, match="no 'metrics' object"):
+        bench_compare.main([str(bogus), str(bogus)])

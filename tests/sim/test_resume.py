@@ -28,9 +28,10 @@ from repro.checkpoint import (
     resume_simulation_checkpoint,
 )
 from repro.core.allocator import AllocatorConfig, ExploratoryConfig
+from repro.core.resources import ResourceVector
 from repro.sim.faults import FaultConfig, FixedPreemptions, make_fault_config
 from repro.sim.manager import SimulationConfig, WorkflowManager
-from repro.sim.pool import ChurnConfig
+from repro.sim.pool import ChurnConfig, PoolConfig
 from repro.sim.trace import TraceRecorder
 
 from tests.sim.test_golden_traces import (
@@ -39,6 +40,53 @@ from tests.sim.test_golden_traces import (
     _resilience,
     _workflow,
 )
+
+def _pool():
+    """The golden scenarios' pool, rebuilt fresh (matches _config)."""
+    return PoolConfig(
+        n_workers=3,
+        capacity=ResourceVector.of(cores=8, memory=16000, disk=16000),
+        churn=ChurnConfig(),
+        seed=11,
+    )
+
+
+def _bounded_records_config():
+    """Exhaustive Bucketing over a tiny reservoir-bounded record store.
+
+    Exercises the million-record hot-path machinery end to end through a
+    kill/resume: the seeded reservoir RNG, the bounded store's ``seen``
+    counter and the incremental exhaustive engine's rebuilt-on-load
+    cache must all replay bit-identically.
+    """
+    return SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm="exhaustive_bucketing",
+            algorithm_kwargs={"record_capacity": 4, "record_compaction": "reservoir"},
+            seed=7,
+            exploratory=ExploratoryConfig(min_records=3),
+        ),
+        pool=_pool(),
+    )
+
+
+def _greedy_incremental_config():
+    """Greedy Bucketing with the opt-in local-repair engine.
+
+    The engine's splice cache serializes bit-exactly; a mid-stream
+    kill/resume must land on the same repaired partitions (and thus the
+    same allocations) as the uninterrupted run.
+    """
+    return SimulationConfig(
+        allocator=AllocatorConfig(
+            algorithm="greedy_bucketing",
+            algorithm_kwargs={"incremental": True},
+            seed=7,
+            exploratory=ExploratoryConfig(min_records=3),
+        ),
+        pool=_pool(),
+    )
+
 
 #: Config factories for the golden scenarios (fresh objects per call —
 #: a resume must never share mutable state with the original run).
@@ -62,6 +110,11 @@ CONFIGS = {
     # before, during and after the quarantine, so the resilience engine's
     # jitter stream, dead-letter ledger and breaker state all replay.
     "quarantine": lambda: _config(resilience=_resilience()),
+    # Million-record hot-path machinery under kill/resume: a bounded
+    # reservoir record store, and the greedy local-repair engine with
+    # its serialized splice cache.
+    "bounded_records": _bounded_records_config,
+    "greedy_incremental": _greedy_incremental_config,
 }
 
 #: Scenarios that run a different workflow than the shared golden one.
