@@ -13,6 +13,12 @@ Usage (installed as ``repro-experiments``, also ``python -m repro.cli``)::
     repro-experiments all
 
 Each command prints the reproduced rows/series as plain text.
+
+``serve`` is different: it runs the allocation service as a long-lived
+daemon (``docs/SERVICE.md``)::
+
+    repro-experiments serve --socket /tmp/repro.sock --checkpoint-dir state/
+    repro-experiments serve --port 7654 --shards 8 --service-algorithm greedy_bucketing
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 from typing import List, Optional
 
 from repro.checkpoint import GracefulShutdown, GridInterrupted, write_text_atomic
+from repro.core.base import ALGORITHM_REGISTRY
 from repro.experiments import (
     ablation,
     convergence,
@@ -37,6 +44,7 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.service.config import DURABILITY_MODES
 from repro.sim.faults import FAULT_PROFILES, make_fault_config
 from repro.sim.resilience import (
     CircuitBreakerConfig,
@@ -67,9 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
             "robustness",
             "resilience",
             "convergence",
+            "serve",
             "all",
         ],
-        help="which artifact to regenerate",
+        help="which artifact to regenerate ('serve' runs the allocation "
+        "service daemon instead)",
     )
     parser.add_argument("--tasks", type=int, default=1000, help="tasks per synthetic workflow")
     parser.add_argument("--workers", type=int, default=20, help="worker pool size")
@@ -168,6 +178,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rendered text to FILE (atomic replace)",
     )
     parser.add_argument("--verbose", action="store_true", help="print per-cell progress")
+    service = parser.add_argument_group(
+        "serve", "allocation-service daemon options (docs/SERVICE.md)"
+    )
+    service.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on this UNIX socket (mutually exclusive with --port)",
+    )
+    service.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound endpoint is announced "
+        "on stdout as one JSON line)",
+    )
+    service.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="single-writer allocation shards (categories hash across them)",
+    )
+    service.add_argument(
+        "--service-algorithm",
+        choices=sorted(ALGORITHM_REGISTRY),
+        default="exhaustive_bucketing",
+        help="allocation algorithm every shard runs",
+    )
+    service.add_argument(
+        "--service-seed",
+        type=int,
+        default=0,
+        help="base seed shard allocator seeds are derived from",
+    )
+    service.add_argument(
+        "--durability",
+        choices=list(DURABILITY_MODES),
+        default="batch",
+        help="WAL commit policy under --checkpoint-dir (default: one "
+        "fsync per coalesced batch)",
+    )
     return parser
 
 
@@ -220,8 +274,30 @@ def _durable(config: ExperimentConfig, args: argparse.Namespace, target: str) ->
     )
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the allocation-service daemon until shutdown or a signal."""
+    import asyncio
+
+    from repro.core.allocator import AllocatorConfig
+    from repro.service import ServiceConfig, run_daemon
+
+    config = ServiceConfig(
+        allocator=AllocatorConfig(
+            algorithm=args.service_algorithm, seed=args.service_seed
+        ),
+        n_shards=args.shards,
+        data_dir=args.checkpoint_dir,
+        durability=args.durability,
+    )
+    return asyncio.run(
+        run_daemon(config, socket_path=args.socket, host=args.host, port=args.port)
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "serve":
+        return _serve(args)
     config = _config(args)
     targets = (
         ["figure2", "figure3", "figure4", "figure5", "figure6", "table1"]

@@ -22,13 +22,28 @@ specific coupling: callers drive it with three calls —
 :meth:`TaskOrientedAllocator.allocate_retry`, and
 :meth:`TaskOrientedAllocator.observe` — which is exactly the bucketing
 manager's interface in Figure 3a.
+
+**Concurrency contract.**  An allocator instance is a *single-writer*
+object: the three Figure-3a calls (plus :meth:`load_state` and
+:meth:`reset`) mutate shared state — lazy per-category construction
+draws child seeds from the master RNG, predictions consume the
+per-instance generators, and ``observe`` rewrites the record stores —
+with no internal locking.  Callers that serve concurrent traffic must
+serialize all mutating calls through one writer (the
+``repro.service`` shards put each allocator behind a single-writer
+asyncio queue).  The calls are also *non-re-entrant*: a
+``capacity_provider`` callback or algorithm hook must never call back
+into the same allocator mid-operation, and a cheap guard raises
+``RuntimeError`` if one tries, rather than corrupting state silently.
 """
 
 from __future__ import annotations
 
 import inspect
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -72,6 +87,17 @@ DEFAULT_MAX_SEEN_GRANULARITY: Mapping[Resource, float] = {
 DEFAULT_EXPLORATORY_FALLBACKS: Mapping[Resource, float] = {
     TIME: 3600.0,
 }
+
+
+@lru_cache(maxsize=None)
+def _init_parameters(cls: type) -> Mapping[str, inspect.Parameter]:
+    """Constructor parameters per algorithm class.
+
+    ``inspect.signature`` costs tens of microseconds; a fresh category
+    builds one algorithm per resource, so under many-category workloads
+    (the allocation service routinely sees thousands) the lookup is hot.
+    """
+    return inspect.signature(cls.__init__).parameters
 
 
 @dataclass(frozen=True)
@@ -264,6 +290,9 @@ class TaskOrientedAllocator:
         #: capacity ceiling (diagnostic only; rebuilt on replay, so
         #: deliberately not part of :meth:`state_dict`).
         self._capacity_clamps: Dict[str, int] = {}
+        #: Re-entrancy guard: set while a mutating call is on the stack
+        #: (see the module docstring's concurrency contract).
+        self._busy = False
 
     # -- properties -------------------------------------------------------------
 
@@ -291,6 +320,26 @@ class TaskOrientedAllocator:
         """Completed records observed for a category."""
         state = self._categories.get(category)
         return state.completed_records if state is not None else 0
+
+    def records_counts(self) -> Dict[str, int]:
+        """Completed-record counts for every known category."""
+        return {
+            category: state.completed_records
+            for category, state in self._categories.items()
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical :meth:`state_dict` form.
+
+        A cheap bit-identity handle: two allocators that report the same
+        digest answer every future request identically (same config
+        assumed).  The service layer compares shard digests against
+        single-threaded replays, and snapshots embed it for resume
+        verification.
+        """
+        from repro.checkpoint import state_digest
+
+        return state_digest(self.state_dict())
 
     def in_exploration(self, category: str) -> bool:
         """True while the category is still in exploratory mode."""
@@ -341,8 +390,28 @@ class TaskOrientedAllocator:
 
     # -- the three calls of Figure 3a ------------------------------------------------
 
+    @contextmanager
+    def _mutating(self, call: str) -> Iterator[None]:
+        """Re-entrancy guard around every state-mutating entry point."""
+        if self._busy:
+            raise RuntimeError(
+                f"re-entrant TaskOrientedAllocator.{call}() call: a capacity "
+                "provider or algorithm hook called back into an allocator "
+                "that is mid-operation (the allocator is single-writer; see "
+                "the module docstring's concurrency contract)"
+            )
+        self._busy = True
+        try:
+            yield
+        finally:
+            self._busy = False
+
     def allocate(self, category: str, task_id: int) -> ResourceVector:
         """First-attempt allocation for a fresh task of ``category``."""
+        with self._mutating("allocate"):
+            return self._allocate(category, task_id)
+
+    def _allocate(self, category: str, task_id: int) -> ResourceVector:
         state = self._state(category)
         if self._deterministic:
             cached = self._prediction_cache.get(category)
@@ -382,6 +451,16 @@ class TaskOrientedAllocator:
         """
         if not exhausted:
             raise ValueError("allocate_retry requires at least one exhausted resource")
+        with self._mutating("allocate_retry"):
+            return self._allocate_retry(category, previous, observed, exhausted)
+
+    def _allocate_retry(
+        self,
+        category: str,
+        previous: ResourceVector,
+        observed: ResourceVector,
+        exhausted: Tuple[Resource, ...],
+    ) -> ResourceVector:
         state = self._state(category)
         values: Dict[Resource, float] = {r: previous[r] for r in self._config.resources}
         for res in exhausted:
@@ -432,13 +511,14 @@ class TaskOrientedAllocator:
         """
         if significance is None:
             significance = self._significance_policy.significance(task_id)
-        state = self._state(category)
-        for res in self._config.resources:
-            state.algorithms[res].update(
-                peaks[res], significance=significance, task_id=task_id
-            )
-        state.completed_records += 1
-        state.version += 1
+        with self._mutating("observe"):
+            state = self._state(category)
+            for res in self._config.resources:
+                state.algorithms[res].update(
+                    peaks[res], significance=significance, task_id=task_id
+                )
+            state.completed_records += 1
+            state.version += 1
 
     # -- internals -----------------------------------------------------------------
 
@@ -457,7 +537,7 @@ class TaskOrientedAllocator:
         kwargs = dict(cfg.algorithm_kwargs)
         kwargs.update(cfg.per_resource_kwargs.get(res.key, {}))
         cls = ALGORITHM_REGISTRY[cfg.algorithm]
-        accepted = inspect.signature(cls.__init__).parameters
+        accepted = _init_parameters(cls)
         # Wire well-known parameters the algorithm accepts but the caller
         # did not pin: worker capacity and the Max Seen histogram width.
         if "capacity" in accepted and "capacity" not in kwargs:
@@ -573,21 +653,22 @@ class TaskOrientedAllocator:
                 f"allocator snapshot manages resources {state.get('resources')!r}; "
                 f"this allocator manages {managed!r}"
             )
-        self._categories.clear()
-        self._prediction_cache.clear()
-        for category, saved in state["categories"].items():
-            cat_state = self._state(category)
-            cat_state.completed_records = int(saved["completed_records"])
-            cat_state.version = int(saved["version"])
-            algorithms = saved["algorithms"]
-            for res in self._config.resources:
-                cat_state.algorithms[res].load_state(algorithms[res.key])
-        restore_generator(self._rng, state["rng"])
-        for category, cached in state["prediction_cache"].items():
-            self._prediction_cache[category] = (
-                int(cached["version"]),
-                ResourceVector.from_state(cached["vector"]),
-            )
+        with self._mutating("load_state"):
+            self._categories.clear()
+            self._prediction_cache.clear()
+            for category, saved in state["categories"].items():
+                cat_state = self._state(category)
+                cat_state.completed_records = int(saved["completed_records"])
+                cat_state.version = int(saved["version"])
+                algorithms = saved["algorithms"]
+                for res in self._config.resources:
+                    cat_state.algorithms[res].load_state(algorithms[res.key])
+            restore_generator(self._rng, state["rng"])
+            for category, cached in state["prediction_cache"].items():
+                self._prediction_cache[category] = (
+                    int(cached["version"]),
+                    ResourceVector.from_state(cached["vector"]),
+                )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,36 @@
+"""Allocation-as-a-service: the allocator behind an async request API.
+
+The simulator drives a :class:`~repro.core.allocator.TaskOrientedAllocator`
+inline; a production scheduler instead *queries* one per task dispatch
+(Ponder-style online prediction).  This package is that deployment
+shape:
+
+* :class:`ServiceConfig` — shard count, durability, backpressure and
+  the underlying :class:`~repro.core.allocator.AllocatorConfig`.
+* :class:`AllocationService` — the in-process async API:
+  ``allocate`` / ``allocate_retry`` / ``record`` / ``allocate_batch``,
+  plus snapshots, stats, and WAL-backed crash recovery.
+* :class:`AllocationServer` / :func:`run_daemon` — a newline-delimited
+  JSON front end over TCP or a UNIX socket (``repro-experiments
+  serve``).
+
+See ``docs/SERVICE.md`` for the architecture and the wire protocol.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.protocol import ProtocolError
+from repro.service.server import AllocationServer, run_daemon
+from repro.service.service import AllocationService
+from repro.service.shards import AllocationShard, apply_op, shard_of, shard_seed
+
+__all__ = [
+    "ServiceConfig",
+    "AllocationService",
+    "AllocationServer",
+    "AllocationShard",
+    "ProtocolError",
+    "apply_op",
+    "run_daemon",
+    "shard_of",
+    "shard_seed",
+]

@@ -1,0 +1,91 @@
+"""Configuration of one allocation service instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.allocator import AllocatorConfig
+from repro.core.resources import ResourceVector
+from repro.sim.resilience import CircuitBreakerConfig
+
+__all__ = ["ServiceConfig", "DURABILITY_MODES"]
+
+#: WAL commit policies, strongest first: ``"op"`` fsyncs every applied
+#: operation, ``"batch"`` group-commits each drained queue batch with a
+#: single fsync (the default — at most one torn batch tail is at risk,
+#: which the torn-line-tolerant reader absorbs), ``"none"`` leaves
+#: flushing to the OS (benchmarks and tests).
+DURABILITY_MODES = ("batch", "op", "none")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one :class:`~repro.service.AllocationService` needs.
+
+    Attributes
+    ----------
+    allocator:
+        The allocator configuration every shard runs.  Each shard gets
+        its *own* :class:`~repro.core.allocator.TaskOrientedAllocator`
+        whose seed is derived deterministically from ``allocator.seed``
+        (``None`` is pinned to 0 — a service must be replayable) and the
+        shard index via :func:`repro.service.shards.shard_seed`.
+    n_shards:
+        Number of single-writer shards; categories are mapped to shards
+        by the stable hash :func:`repro.service.shards.shard_of`.
+    data_dir:
+        Durability root (one WAL per shard plus a multi-shard snapshot
+        envelope).  ``None`` runs fully in memory.
+    durability:
+        WAL commit policy, one of :data:`DURABILITY_MODES`.
+    backpressure:
+        Per-shard circuit breaker over queue depth; default disabled.
+        When enabled, each applied operation feeds the breaker one
+        outcome (success iff the submitter saw the shard queue at or
+        below ``queue_high_watermark``), with the shard's applied-op
+        sequence number as the breaker's logical clock — so ``cooldown``
+        counts *operations*, not seconds.  While open, allocation
+        requests are shed to
+        :meth:`~repro.core.allocator.TaskOrientedAllocator.conservative_allocation`
+        without consulting (or mutating) the algorithm; feedback
+        (``record``) is never shed.
+    queue_high_watermark:
+        Queue depth above which a submission counts as a failure in the
+        breaker window.
+    capacity:
+        Optional static alive-capacity ceiling installed as every
+        shard's capacity provider, so ``allocate_retry`` growth is
+        clamped exactly as the simulator's largest-alive-worker clamp.
+    """
+
+    allocator: AllocatorConfig = field(default_factory=lambda: AllocatorConfig(seed=0))
+    n_shards: int = 4
+    data_dir: Optional[str] = None
+    durability: str = "batch"
+    backpressure: CircuitBreakerConfig = field(default_factory=CircuitBreakerConfig)
+    queue_high_watermark: int = 1024
+    capacity: Optional[ResourceVector] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, got {self.durability!r}"
+            )
+        if self.queue_high_watermark < 1:
+            raise ValueError(
+                f"queue_high_watermark must be >= 1, got {self.queue_high_watermark}"
+            )
+
+    @property
+    def base_seed(self) -> int:
+        """The seed shard seeds are derived from (``None`` pinned to 0)."""
+        return 0 if self.allocator.seed is None else int(self.allocator.seed)
+
+    def shard_allocator_config(self, index: int) -> AllocatorConfig:
+        """The allocator config of shard ``index`` (derived seed)."""
+        from repro.service.shards import shard_seed
+
+        return replace(self.allocator, seed=shard_seed(self.base_seed, index))

@@ -1,0 +1,170 @@
+"""Newline-delimited JSON wire protocol of the allocation service.
+
+One request per line, one response line per request, strictly in
+request order per connection.  Requests are JSON objects carrying an
+``op`` and an optional client-chosen ``id`` that is echoed verbatim in
+the response — the full vocabulary, with examples, is documented in
+``docs/SERVICE.md``.
+
+The same operation documents double as WAL entries and as the in-
+process API's wire format, so validation lives here, once:
+:func:`validate_request` rejects malformed documents *before* they are
+enqueued or logged (an invalid document must never reach the WAL, where
+replay would trip over it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.core.resources import Resource
+from repro.service.shards import MUTATING_OPS, OP_RECORD, OP_RETRY
+
+__all__ = [
+    "ProtocolError",
+    "ADMIN_OPS",
+    "MAX_LINE_BYTES",
+    "parse_line",
+    "validate_request",
+    "encode",
+    "ok_response",
+    "error_response",
+]
+
+#: Read-only / control operations the server answers without touching a
+#: shard queue.
+ADMIN_OPS = ("ping", "stats", "snapshot", "shutdown")
+
+#: Everything the front end accepts.
+REQUEST_OPS = MUTATING_OPS + ("allocate_batch",) + ADMIN_OPS
+
+#: Ceiling on one request line; protects the server from an unframed
+#: client streaming garbage into memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request document is malformed; the connection stays usable."""
+
+
+def parse_line(line: bytes) -> Dict[str, Any]:
+    """Decode one request line into a document, or raise ProtocolError."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("request must be a JSON object")
+    return doc
+
+
+def _require_str(doc: Mapping[str, Any], key: str) -> None:
+    if not isinstance(doc.get(key), str) or not doc[key]:
+        raise ProtocolError(f"{doc.get('op')}: {key!r} must be a non-empty string")
+
+
+def _require_int(doc: Mapping[str, Any], key: str) -> None:
+    value = doc.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{doc.get('op')}: {key!r} must be an integer")
+
+
+def _require_vector(
+    doc: Mapping[str, Any], key: str, resources: Sequence[Resource]
+) -> None:
+    value = doc.get(key)
+    if not isinstance(value, dict) or not value:
+        raise ProtocolError(
+            f"{doc.get('op')}: {key!r} must be a non-empty "
+            "{resource: value} object"
+        )
+    managed = {res.key for res in resources}
+    for res_key, magnitude in value.items():
+        if res_key not in managed:
+            raise ProtocolError(
+                f"{doc.get('op')}: {key!r} names unmanaged resource {res_key!r} "
+                f"(managed: {sorted(managed)})"
+            )
+        if isinstance(magnitude, bool) or not isinstance(magnitude, (int, float)):
+            raise ProtocolError(
+                f"{doc.get('op')}: {key!r}[{res_key!r}] must be a number"
+            )
+        if magnitude < 0 or magnitude != magnitude:
+            raise ProtocolError(
+                f"{doc.get('op')}: {key!r}[{res_key!r}] must be >= 0 and not NaN"
+            )
+
+
+def validate_request(
+    doc: Mapping[str, Any], resources: Sequence[Resource], depth: int = 0
+) -> None:
+    """Schema-check one request document (recursing into batches)."""
+    op = doc.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {sorted(REQUEST_OPS)}"
+        )
+    if op in ADMIN_OPS:
+        return
+    if op == "allocate_batch":
+        if depth > 0:
+            raise ProtocolError("allocate_batch cannot be nested")
+        requests = doc.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ProtocolError("allocate_batch: 'requests' must be a non-empty list")
+        for sub in requests:
+            if not isinstance(sub, dict):
+                raise ProtocolError("allocate_batch: every request must be an object")
+            if sub.get("op") not in MUTATING_OPS:
+                raise ProtocolError(
+                    f"allocate_batch: nested op must be one of {sorted(MUTATING_OPS)}"
+                )
+            validate_request(sub, resources, depth=depth + 1)
+        return
+    _require_str(doc, "category")
+    _require_int(doc, "task_id")
+    if op == OP_RETRY:
+        _require_vector(doc, "previous", resources)
+        _require_vector(doc, "observed", resources)
+        exhausted = doc.get("exhausted")
+        if not isinstance(exhausted, list) or not exhausted:
+            raise ProtocolError(
+                "allocate_retry: 'exhausted' must be a non-empty list of resource keys"
+            )
+        managed = {res.key for res in resources}
+        for key in exhausted:
+            if key not in managed:
+                raise ProtocolError(
+                    f"allocate_retry: exhausted resource {key!r} is not managed "
+                    f"(managed: {sorted(managed)})"
+                )
+    elif op == OP_RECORD:
+        _require_vector(doc, "peaks", resources)
+        significance = doc.get("significance")
+        if significance is not None and (
+            isinstance(significance, bool)
+            or not isinstance(significance, (int, float))
+        ):
+            raise ProtocolError("record: 'significance' must be a number when given")
+
+
+def encode(doc: Mapping[str, Any]) -> bytes:
+    """One response/request document as a compact JSON line."""
+    return (json.dumps(doc, indent=None, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(request_id: Optional[Any], result: Mapping[str, Any]) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"ok": True, "result": dict(result)}
+    if request_id is not None:
+        doc["id"] = request_id
+    return doc
+
+
+def error_response(request_id: Optional[Any], message: str) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"ok": False, "error": message}
+    if request_id is not None:
+        doc["id"] = request_id
+    return doc

@@ -1,0 +1,196 @@
+"""NDJSON front end: the allocation service over TCP or a UNIX socket.
+
+One connection, one line-oriented session: the server reads requests
+sequentially per connection and answers in order, so a client that
+awaits each response before sending the next gets the same per-client
+ordering guarantee the in-process API provides.  Malformed lines get an
+``ok: false`` response and the connection stays usable; only transport
+errors close it.
+
+:func:`run_daemon` is the long-lived entry point behind
+``repro-experiments serve``: it starts the service (recovering from
+``data_dir`` when present), binds the socket, announces readiness with
+one JSON line on stdout, and converts SIGTERM/SIGINT into a clean
+drain + snapshot + exit(128+signum) — the kill/resume golden test
+SIGTERMs it mid-ingest and asserts the resumed response stream is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal as _signal
+import sys
+from typing import Any, Dict, Optional
+
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_line,
+    validate_request,
+)
+from repro.service.service import AllocationService
+
+__all__ = ["AllocationServer", "run_daemon"]
+
+
+class AllocationServer:
+    """Bind an :class:`AllocationService` to a TCP or UNIX socket."""
+
+    def __init__(
+        self,
+        service: AllocationService,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if socket_path is not None and port:
+            raise ValueError("give either a UNIX socket path or a TCP port, not both")
+        self._service = service
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.shutdown_requested: asyncio.Event = asyncio.Event()
+
+    @property
+    def service(self) -> AllocationService:
+        return self._service
+
+    @property
+    def endpoint(self) -> str:
+        """Human-readable bound endpoint (valid after :meth:`start`)."""
+        if self._socket_path is not None:
+            return f"unix:{self._socket_path}"
+        assert self._server is not None
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"tcp:{host}:{port}"
+
+    async def start(self) -> None:
+        if self._socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self._host, port=self._port
+            )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection session ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                writer.write(encode(response))
+                await writer.drain()
+                if response.get("result", {}).get("shutting_down"):
+                    break
+        except asyncio.CancelledError:
+            # Daemon shutdown cancels in-flight sessions; close quietly
+            # rather than re-raising into the event loop's logger.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> Dict[str, Any]:
+        request_id: Optional[Any] = None
+        try:
+            doc = parse_line(line)
+            request_id = doc.get("id")
+            validate_request(doc, self._service.resources)
+            return ok_response(request_id, await self._dispatch(doc))
+        except ProtocolError as exc:
+            return error_response(request_id, str(exc))
+        except Exception as exc:  # unexpected; keep the session alive
+            return error_response(request_id, f"internal error: {exc}")
+
+    async def _dispatch(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        op = doc["op"]
+        if op == "ping":
+            return {"pong": True}
+        if op == "stats":
+            return self._service.stats()
+        if op == "snapshot":
+            return {"path": await self._service.snapshot()}
+        if op == "shutdown":
+            self.shutdown_requested.set()
+            return {"shutting_down": True}
+        if op == "allocate_batch":
+            return {"responses": await self._service.submit_batch(doc["requests"])}
+        return await self._service.submit(doc)
+
+
+async def run_daemon(
+    config: ServiceConfig,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    install_signals: bool = True,
+    announce: bool = True,
+) -> int:
+    """Serve until ``shutdown`` (wire op) or SIGTERM/SIGINT; return exit code.
+
+    On a signal the server stops accepting, every shard drains, a final
+    consistent snapshot is written, and the exit code is
+    ``128 + signum`` — the same convention the grid checkpointing uses.
+    """
+    service = AllocationService(config)
+    await service.start()
+    server = AllocationServer(service, socket_path=socket_path, host=host, port=port)
+    await server.start()
+
+    received_signal: Dict[str, int] = {}
+    if install_signals:
+        loop = asyncio.get_running_loop()
+
+        def _on_signal(signum: int) -> None:
+            received_signal["signum"] = signum
+            server.shutdown_requested.set()
+
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            loop.add_signal_handler(signum, _on_signal, signum)
+
+    if announce:
+        sys.stdout.write(
+            json.dumps({"ready": True, "endpoint": server.endpoint}) + "\n"
+        )
+        sys.stdout.flush()
+
+    try:
+        await server.shutdown_requested.wait()
+    finally:
+        await server.stop()
+        await service.stop(snapshot=True)
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (_signal.SIGINT, _signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+
+    signum = received_signal.get("signum")
+    return 0 if signum is None else 128 + signum

@@ -1,0 +1,358 @@
+"""The in-process async allocation service.
+
+:class:`AllocationService` fronts ``n_shards`` single-writer
+:class:`~repro.service.shards.AllocationShard` instances with the
+four-call API the ROADMAP's service decomposition asks for —
+``allocate``, ``allocate_retry``, ``record``, ``allocate_batch`` —
+plus durability:
+
+* every applied operation is write-ahead logged to its shard's WAL
+  (group commit per drained batch);
+* :meth:`snapshot` takes a *consistent cut*: every shard writer parks
+  at a quiesce barrier, the multi-shard envelope is written atomically
+  (``repro.checkpoint.save_checkpoint``, kind
+  :data:`~repro.checkpoint.SERVICE_KIND`), the WALs are truncated, and
+  the writers resume — no operation is ever split across the cut;
+* :meth:`start` recovers: restore the latest snapshot (if any), replay
+  each shard's WAL tail through the exact same
+  :func:`~repro.service.shards.apply_op` the live writer uses, then
+  re-snapshot so the recovered state is durable before traffic resumes.
+
+Given the same operation stream, a killed-and-resumed service answers
+the remaining operations bit-identically to an uninterrupted run (the
+kill/resume golden test asserts this byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.checkpoint import (
+    SERVICE_KIND,
+    CheckpointError,
+    load_checkpoint,
+    read_jsonl,
+    save_checkpoint,
+)
+from repro.core.allocator import TaskOrientedAllocator
+from repro.core.resources import Resource, ResourceVector
+from repro.service.config import ServiceConfig
+from repro.service.protocol import ADMIN_OPS, ProtocolError, validate_request
+from repro.service.shards import (
+    OP_ALLOCATE,
+    OP_RECORD,
+    OP_RETRY,
+    AllocationShard,
+    shard_of,
+)
+
+__all__ = ["AllocationService", "SNAPSHOT_FILENAME"]
+
+#: The multi-shard snapshot envelope inside ``data_dir``.
+SNAPSHOT_FILENAME = "service.snapshot.json"
+
+
+def _wal_filename(index: int) -> str:
+    return f"shard-{index:02d}.wal"
+
+
+class AllocationService:
+    """Sharded, durable, backpressured allocation service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._shards: List[AllocationShard] = []
+        self._started = False
+        self._snapshot_lock: Optional[asyncio.Lock] = None
+        self.recovered_ops = 0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def resources(self) -> Sequence[Resource]:
+        return self._config.allocator.resources
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def shards(self) -> Sequence[AllocationShard]:
+        return tuple(self._shards)
+
+    def shard_for(self, category: str) -> int:
+        """The shard index serving ``category`` (stable hash)."""
+        return shard_of(category, self._config.n_shards)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _build_shards(self) -> None:
+        config = self._config
+        self._shards = []
+        for index in range(config.n_shards):
+            allocator = TaskOrientedAllocator(config.shard_allocator_config(index))
+            if config.capacity is not None:
+                ceiling = config.capacity
+                allocator.set_capacity_provider(lambda ceiling=ceiling: ceiling)
+            wal_path = None
+            if config.data_dir is not None:
+                wal_path = os.path.join(config.data_dir, _wal_filename(index))
+            self._shards.append(
+                AllocationShard(
+                    index,
+                    allocator,
+                    wal_path=wal_path,
+                    durability=config.durability,
+                    backpressure=config.backpressure,
+                    queue_high_watermark=config.queue_high_watermark,
+                )
+            )
+
+    async def start(self) -> None:
+        """Build the shards, recover from ``data_dir``, start the writers."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._build_shards()
+        self._snapshot_lock = asyncio.Lock()
+        if self._config.data_dir is not None:
+            os.makedirs(self._config.data_dir, exist_ok=True)
+            self._recover()
+        for shard in self._shards:
+            shard.start()
+        self._started = True
+
+    def _fingerprint(self) -> Dict[str, Any]:
+        """Config identity a snapshot must match to be resumable."""
+        config = self._config
+        return {
+            "n_shards": config.n_shards,
+            "algorithm": config.allocator.algorithm,
+            "resources": [res.key for res in config.allocator.resources],
+            "base_seed": config.base_seed,
+        }
+
+    def _snapshot_path(self) -> str:
+        assert self._config.data_dir is not None
+        return os.path.join(self._config.data_dir, SNAPSHOT_FILENAME)
+
+    def _recover(self) -> None:
+        """Restore snapshot + WAL tails, then make the recovery durable."""
+        path = self._snapshot_path()
+        if os.path.exists(path):
+            _, payload = load_checkpoint(path, kind=SERVICE_KIND)
+            fingerprint = payload.get("fingerprint")
+            if fingerprint != self._fingerprint():
+                raise CheckpointError(
+                    f"service snapshot {path!r} was written by a different "
+                    f"configuration: snapshot {fingerprint!r} vs "
+                    f"running {self._fingerprint()!r}"
+                )
+            states = payload["shards"]
+            if len(states) != len(self._shards):
+                raise CheckpointError(
+                    f"snapshot holds {len(states)} shards; service runs "
+                    f"{len(self._shards)}"
+                )
+            for shard, state in zip(self._shards, states):
+                shard.restore(state)
+        recovered = 0
+        for shard in self._shards:
+            wal_path = os.path.join(
+                self._config.data_dir, _wal_filename(shard.index)
+            )
+            if os.path.exists(wal_path):
+                recovered += shard.replay(read_jsonl(wal_path))
+        self.recovered_ops = recovered
+        # Make the recovered state durable *before* accepting traffic:
+        # snapshot covers snapshot+WAL-tail, then the WALs restart empty.
+        self._write_snapshot()
+        for shard in self._shards:
+            shard.open_wal()
+            shard.truncate_wal()
+
+    def _write_snapshot(self) -> str:
+        """Write the multi-shard envelope (callers ensure quiescence)."""
+        path = self._snapshot_path()
+        save_checkpoint(
+            path,
+            SERVICE_KIND,
+            {
+                "fingerprint": self._fingerprint(),
+                "shards": [shard.state() for shard in self._shards],
+            },
+        )
+        return path
+
+    async def stop(self, snapshot: bool = True) -> None:
+        """Drain every shard, optionally snapshot, release the WALs."""
+        if not self._started:
+            return
+        for shard in self._shards:
+            await shard.stop()
+        if self._config.data_dir is not None and snapshot:
+            self._write_snapshot()
+            for shard in self._shards:
+                shard.truncate_wal()
+        for shard in self._shards:
+            shard.close_wal()
+        self._started = False
+
+    def abort(self) -> None:
+        """Crash simulation: drop writers and queued work on the floor."""
+        for shard in self._shards:
+            shard.abort()
+        self._started = False
+
+    async def snapshot(self) -> str:
+        """Online snapshot: quiesce all shards, write one consistent cut."""
+        if not self._started:
+            raise RuntimeError("service is not started")
+        if self._config.data_dir is None:
+            raise RuntimeError("service has no data_dir; nothing to snapshot to")
+        assert self._snapshot_lock is not None
+        async with self._snapshot_lock:
+            barriers = [shard.quiesce() for shard in self._shards]
+            await asyncio.gather(*(b.parked.wait() for b in barriers))
+            try:
+                path = self._write_snapshot()
+                for shard in self._shards:
+                    shard.truncate_wal()
+            finally:
+                for barrier in barriers:
+                    barrier.release.set()
+            return path
+
+    # -- the request API -------------------------------------------------------
+
+    async def submit(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one validated operation document; returns the result doc.
+
+        This is the generic entry the wire front end uses; the typed
+        helpers below build the documents for in-process callers.
+        """
+        if op.get("op") in ADMIN_OPS:
+            raise ProtocolError(
+                f"{op.get('op')!r} is a front-end operation; call the "
+                "service method directly"
+            )
+        validate_request(op, self.resources)
+        if op["op"] == "allocate_batch":
+            return {"responses": await self.submit_batch(op["requests"])}
+        return await self._shard(op["category"]).submit(op)
+
+    async def submit_batch(
+        self, requests: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Apply a batch of operation documents, coalesced per shard.
+
+        Responses come back in request order and are bit-identical to a
+        sequential loop awaiting each request: within a shard the batch
+        is applied contiguously in request order, and requests on
+        different shards touch disjoint allocators.
+        """
+        for request in requests:
+            if not isinstance(request, dict):
+                raise ProtocolError("allocate_batch: every request must be an object")
+            if request.get("op") not in (OP_ALLOCATE, OP_RETRY, OP_RECORD):
+                raise ProtocolError(
+                    f"allocate_batch: nested op {request.get('op')!r} not allowed"
+                )
+            validate_request(request, self.resources, depth=1)
+        by_shard: Dict[int, List[int]] = {}
+        for position, request in enumerate(requests):
+            by_shard.setdefault(self.shard_for(request["category"]), []).append(position)
+        ordered = sorted(by_shard.items())
+        grouped = await asyncio.gather(
+            *(
+                self._shards[index].submit_many([requests[pos] for pos in positions])
+                for index, positions in ordered
+            )
+        )
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        for (_, positions), results in zip(ordered, grouped):
+            for position, result in zip(positions, results):
+                responses[position] = result
+        return responses  # type: ignore[return-value]
+
+    async def allocate(self, category: str, task_id: int) -> ResourceVector:
+        """First-attempt allocation for one task of ``category``."""
+        result = await self.submit(
+            {"op": OP_ALLOCATE, "category": category, "task_id": task_id}
+        )
+        return ResourceVector.from_state(result["allocation"])
+
+    async def allocate_retry(
+        self,
+        category: str,
+        task_id: int,
+        previous: ResourceVector,
+        observed: ResourceVector,
+        exhausted: Sequence[Union[Resource, str]],
+    ) -> ResourceVector:
+        """Re-allocation after ``previous`` was exhausted."""
+        result = await self.submit(
+            {
+                "op": OP_RETRY,
+                "category": category,
+                "task_id": task_id,
+                "previous": previous.state_dict(),
+                "observed": observed.state_dict(),
+                "exhausted": [str(res) for res in exhausted],
+            }
+        )
+        return ResourceVector.from_state(result["allocation"])
+
+    async def record(
+        self,
+        category: str,
+        peaks: ResourceVector,
+        task_id: int,
+        significance: Optional[float] = None,
+    ) -> int:
+        """Feed back a completed task's peaks; returns the record count."""
+        op: Dict[str, Any] = {
+            "op": OP_RECORD,
+            "category": category,
+            "task_id": task_id,
+            "peaks": peaks.state_dict(),
+        }
+        if significance is not None:
+            op["significance"] = significance
+        result = await self.submit(op)
+        return int(result["records_count"])
+
+    def _shard(self, category: str) -> AllocationShard:
+        if not self._started:
+            raise RuntimeError("service is not started")
+        return self._shards[self.shard_for(category)]
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters, per shard and service-wide."""
+        shards = [shard.stats() for shard in self._shards]
+        return {
+            "n_shards": self._config.n_shards,
+            "algorithm": self._config.allocator.algorithm,
+            "ops": sum(s["seq"] for s in shards),
+            "shed": sum(s["shed"] for s in shards),
+            "recovered_ops": self.recovered_ops,
+            "shards": shards,
+        }
+
+    def shard_digests(self) -> List[str]:
+        """Per-shard allocator digests (bit-identity handles)."""
+        return [shard.allocator.digest() for shard in self._shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationService(shards={self._config.n_shards}, "
+            f"algorithm={self._config.allocator.algorithm!r}, "
+            f"started={self._started})"
+        )

@@ -1,0 +1,427 @@
+"""Unit tests for the allocation service: sharding, API, backpressure,
+durability plumbing, and the protocol validators.
+
+The concurrency-heavy properties live in ``test_linearizability.py``;
+batch semantics in ``test_batch_equivalence.py``; crash recovery in
+``test_kill_resume.py``.  Everything here is seeded and wall-clock
+free.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ExploratoryConfig, TaskOrientedAllocator
+from repro.core.resources import MEMORY, ResourceVector
+from repro.service import (
+    AllocationService,
+    ProtocolError,
+    ServiceConfig,
+    apply_op,
+    shard_of,
+    shard_seed,
+)
+from repro.service.protocol import parse_line, validate_request
+from repro.sim.resilience import CircuitBreakerConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _config(**overrides):
+    defaults = dict(
+        allocator=AllocatorConfig(
+            algorithm="greedy_bucketing",
+            seed=11,
+            exploratory=ExploratoryConfig(min_records=3),
+        ),
+        n_shards=3,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Shard mapping and seeds
+# ---------------------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_covers_all_shards():
+    # Stability: the mapping is part of the durability contract (a WAL
+    # written yesterday must route to the same shards today).
+    assert shard_of("proc", 4) == shard_of("proc", 4)
+    seen = {shard_of(f"category-{i}", 4) for i in range(200)}
+    assert seen == {0, 1, 2, 3}
+
+
+def test_shard_of_single_shard():
+    assert shard_of("anything", 1) == 0
+
+
+def test_shard_seed_deterministic_and_distinct():
+    assert shard_seed(0, 0) == shard_seed(0, 0)
+    seeds = {shard_seed(7, i) for i in range(16)}
+    assert len(seeds) == 16
+    assert shard_seed(7, 0) != shard_seed(8, 0)
+
+
+def test_shard_allocator_config_derives_seed():
+    config = _config()
+    cfg0 = config.shard_allocator_config(0)
+    cfg1 = config.shard_allocator_config(1)
+    assert cfg0.seed == shard_seed(11, 0)
+    assert cfg1.seed == shard_seed(11, 1)
+    assert cfg0.algorithm == "greedy_bucketing"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(n_shards=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(durability="sometimes")
+    with pytest.raises(ValueError):
+        ServiceConfig(queue_high_watermark=0)
+
+
+# ---------------------------------------------------------------------------
+# The four-call API vs a single-threaded reference
+# ---------------------------------------------------------------------------
+
+
+def test_allocate_record_matches_reference_replay():
+    async def scenario():
+        config = _config()
+        service = AllocationService(config)
+        await service.start()
+        reference = {
+            i: TaskOrientedAllocator(config.shard_allocator_config(i))
+            for i in range(config.n_shards)
+        }
+        categories = ["proc", "merge", "fit", "plot", "scan"]
+        for task_id in range(40):
+            category = categories[task_id % len(categories)]
+            got = await service.allocate(category, task_id)
+            ref = reference[shard_of(category, config.n_shards)]
+            expected = ref.allocate(category, task_id)
+            assert got == expected
+            peaks = ResourceVector.of(
+                cores=1, memory=400.0 + 37.0 * task_id, disk=25.0
+            )
+            await service.record(category, peaks, task_id)
+            ref.observe(category, peaks, task_id)
+        assert service.shard_digests() == [
+            reference[i].digest() for i in range(config.n_shards)
+        ]
+        await service.stop()
+
+    run(scenario())
+
+
+def test_allocate_retry_matches_reference():
+    async def scenario():
+        config = _config(n_shards=1)
+        service = AllocationService(config)
+        await service.start()
+        reference = TaskOrientedAllocator(config.shard_allocator_config(0))
+        previous = await service.allocate("proc", 0)
+        reference.allocate("proc", 0)
+        observed = previous.replace(MEMORY, previous[MEMORY])
+        got = await service.allocate_retry(
+            "proc", 0, previous=previous, observed=observed, exhausted=[MEMORY]
+        )
+        expected = reference.allocate_retry(
+            "proc", 0, previous=previous, observed=observed, exhausted=(MEMORY,)
+        )
+        assert got == expected
+        assert got[MEMORY] > previous[MEMORY]
+        await service.stop()
+
+    run(scenario())
+
+
+def test_capacity_ceiling_clamps_retry_growth():
+    async def scenario():
+        ceiling = ResourceVector.of(cores=2, memory=1500.0, disk=500.0)
+        config = _config(n_shards=1, capacity=ceiling)
+        service = AllocationService(config)
+        await service.start()
+        previous = ResourceVector.of(cores=1, memory=1400.0, disk=100.0)
+        grown = await service.allocate_retry(
+            "proc", 0, previous=previous, observed=previous, exhausted=[MEMORY]
+        )
+        # Doubling would ask for 2800 MB; no alive worker can host it.
+        assert grown[MEMORY] == 1500.0
+        assert service.shards[0].allocator.capacity_clamps_total == 1
+        await service.stop()
+
+    run(scenario())
+
+
+def test_exploration_mode_reported_then_predicted():
+    async def scenario():
+        config = _config(n_shards=1)
+        service = AllocationService(config)
+        await service.start()
+        first = await service.submit(
+            {"op": "allocate", "category": "proc", "task_id": 0}
+        )
+        assert first["mode"] == "exploratory"
+        for task_id in range(3):
+            await service.record(
+                "proc", ResourceVector.of(cores=1, memory=700.0, disk=10.0), task_id
+            )
+        later = await service.submit(
+            {"op": "allocate", "category": "proc", "task_id": 99}
+        )
+        assert later["mode"] == "predicted"
+        assert later["seq"] == 5
+        await service.stop()
+
+    run(scenario())
+
+
+def test_sequence_numbers_are_per_shard_and_contiguous():
+    async def scenario():
+        config = _config(n_shards=2)
+        service = AllocationService(config)
+        await service.start()
+        per_shard = {0: 0, 1: 0}
+        for task_id in range(30):
+            result = await service.submit(
+                {"op": "allocate", "category": f"cat-{task_id}", "task_id": task_id}
+            )
+            per_shard[result["shard"]] += 1
+            assert result["seq"] == per_shard[result["shard"]]
+        assert sum(per_shard.values()) == 30
+        await service.stop()
+
+    run(scenario())
+
+
+def test_stats_shape():
+    async def scenario():
+        service = AllocationService(_config())
+        await service.start()
+        await service.allocate("proc", 0)
+        stats = service.stats()
+        assert stats["n_shards"] == 3
+        assert stats["ops"] == 1
+        assert stats["shed"] == 0
+        assert len(stats["shards"]) == 3
+        for shard_stats in stats["shards"]:
+            assert {"index", "seq", "queue_depth", "shed", "categories"} <= set(
+                shard_stats
+            )
+        await service.stop()
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+
+def test_submit_rejects_malformed_requests():
+    async def scenario():
+        service = AllocationService(_config())
+        await service.start()
+        bad = [
+            {"op": "explode"},
+            {"op": "allocate", "category": "", "task_id": 0},
+            {"op": "allocate", "category": "proc"},
+            {"op": "allocate", "category": "proc", "task_id": True},
+            {"op": "record", "category": "proc", "task_id": 0, "peaks": {}},
+            {"op": "record", "category": "proc", "task_id": 0, "peaks": {"gpus": 1}},
+            {
+                "op": "record",
+                "category": "proc",
+                "task_id": 0,
+                "peaks": {"memory": -5.0},
+            },
+            {
+                "op": "allocate_retry",
+                "category": "proc",
+                "task_id": 0,
+                "previous": {"memory": 1.0},
+                "observed": {"memory": 1.0},
+                "exhausted": [],
+            },
+            {
+                "op": "allocate_retry",
+                "category": "proc",
+                "task_id": 0,
+                "previous": {"memory": 1.0},
+                "observed": {"memory": 1.0},
+                "exhausted": ["gpus"],
+            },
+            {"op": "stats"},  # admin ops are front-end-only
+        ]
+        for doc in bad:
+            with pytest.raises(ProtocolError):
+                await service.submit(doc)
+        # Nothing reached a shard.
+        assert service.stats()["ops"] == 0
+        await service.stop()
+
+    run(scenario())
+
+
+def test_parse_line_and_nested_batch_validation():
+    with pytest.raises(ProtocolError):
+        parse_line(b"not json\n")
+    with pytest.raises(ProtocolError):
+        parse_line(b"[1, 2]\n")
+    resources = AllocatorConfig().resources
+    with pytest.raises(ProtocolError):
+        validate_request(
+            {"op": "allocate_batch", "requests": [{"op": "allocate_batch"}]},
+            resources,
+        )
+    with pytest.raises(ProtocolError):
+        validate_request({"op": "allocate_batch", "requests": []}, resources)
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_backpressure_sheds_to_conservative_under_queue_pressure():
+    async def scenario():
+        config = _config(
+            n_shards=1,
+            backpressure=CircuitBreakerConfig(
+                enabled=True, window=6, failure_threshold=0.5, cooldown=1000.0
+            ),
+            queue_high_watermark=4,
+        )
+        service = AllocationService(config)
+        await service.start()
+        conservative = service.shards[0].allocator.conservative_allocation()
+        # Launch a burst without yielding: every submission sees the
+        # depth left by the previous one, so the queue ramps 0,1,2,...
+        tasks = [
+            asyncio.ensure_future(
+                service.submit({"op": "allocate", "category": "proc", "task_id": i})
+            )
+            for i in range(30)
+        ]
+        results = await asyncio.gather(*tasks)
+        shed = [r for r in results if r["mode"] == "conservative"]
+        assert shed, "deep queue must trip the breaker and shed"
+        for result in shed:
+            assert ResourceVector.from_state(result["allocation"]) == conservative
+        assert service.stats()["shed"] == len(shed)
+        assert service.shards[0].breaker.trips >= 1
+        # Idle service, shallow queue: the breaker's window refills with
+        # successes only after its cooldown; a fresh service stays closed.
+        await service.stop()
+
+        calm = AllocationService(_config(n_shards=1))
+        await calm.start()
+        for i in range(30):
+            result = await calm.submit(
+                {"op": "allocate", "category": "proc", "task_id": i}
+            )
+            assert result["mode"] != "conservative"
+        assert calm.stats()["shed"] == 0
+        await calm.stop()
+
+    run(scenario())
+
+
+def test_record_is_never_shed():
+    async def scenario():
+        config = _config(
+            n_shards=1,
+            backpressure=CircuitBreakerConfig(
+                enabled=True, window=2, failure_threshold=0.5, cooldown=1000.0
+            ),
+            queue_high_watermark=1,
+        )
+        service = AllocationService(config)
+        await service.start()
+        ops = []
+        for i in range(20):
+            ops.append({"op": "allocate", "category": "proc", "task_id": i})
+            ops.append(
+                {
+                    "op": "record",
+                    "category": "proc",
+                    "task_id": i,
+                    "peaks": {"cores": 1, "memory": 500.0, "disk": 10.0},
+                }
+            )
+        tasks = [asyncio.ensure_future(service.submit(op)) for op in ops]
+        results = await asyncio.gather(*tasks)
+        records = [r for r in results if "recorded" in r]
+        assert len(records) == 20
+        assert service.shards[0].allocator.records_count("proc") == 20
+        assert any(r.get("mode") == "conservative" for r in results)
+        await service.stop()
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Durability plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_wal_files_and_snapshot_envelope(tmp_path):
+    async def scenario():
+        data_dir = str(tmp_path / "data")
+        config = _config(data_dir=data_dir, durability="none")
+        service = AllocationService(config)
+        await service.start()
+        for i in range(10):
+            await service.allocate(f"cat-{i}", i)
+        path = await service.snapshot()
+        assert os.path.basename(path) == "service.snapshot.json"
+        from repro.checkpoint import SERVICE_KIND, load_checkpoint
+
+        _, payload = load_checkpoint(path, kind=SERVICE_KIND)
+        assert len(payload["shards"]) == config.n_shards
+        assert payload["fingerprint"]["algorithm"] == "greedy_bucketing"
+        assert [s["seq"] for s in payload["shards"]] == [
+            shard.seq for shard in service.shards
+        ]
+        await service.stop()
+
+    run(scenario())
+
+
+def test_resume_refuses_mismatched_fingerprint(tmp_path):
+    async def scenario():
+        data_dir = str(tmp_path / "data")
+        service = AllocationService(_config(data_dir=data_dir))
+        await service.start()
+        await service.allocate("proc", 0)
+        await service.stop()
+
+        from repro.checkpoint import CheckpointError
+
+        other = AllocationService(_config(n_shards=2, data_dir=data_dir))
+        with pytest.raises(CheckpointError):
+            await other.start()
+
+    run(scenario())
+
+
+def test_apply_op_is_the_single_semantics_point():
+    # The WAL replayer, the live writer, and the reference replays all
+    # route through apply_op; spot-check its contract directly.
+    allocator = TaskOrientedAllocator(AllocatorConfig(seed=1))
+    result = apply_op(allocator, {"op": "allocate", "category": "c", "task_id": 0})
+    assert result["mode"] == "exploratory"
+    shed = apply_op(
+        allocator, {"op": "allocate", "category": "brand-new", "task_id": 1}, shed=True
+    )
+    assert shed["mode"] == "conservative"
+    # Shed operations are state-neutral: the category was never created.
+    assert "brand-new" not in allocator.categories()
+    with pytest.raises(ValueError):
+        apply_op(allocator, {"op": "nope", "category": "c"})
