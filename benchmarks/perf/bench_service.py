@@ -23,6 +23,12 @@ Measured families:
 * **durable throughput** (full runs only) — the sustained scenario with
   the write-ahead log on (``durability="batch"``), the deployment
   configuration of the daemon.
+* **wire overhead** — the same operation stream round-tripped over a
+  UNIX socket, once through a raw NDJSON connection
+  (``service_raw_socket_kops_x``) and once through the resilient
+  client SDK with auto-keying on (``service_sdk_kops_x``), so the
+  regression gate prices the SDK's idempotency/retry bookkeeping
+  against the bare wire.
 
 Usage::
 
@@ -211,6 +217,66 @@ def bench_batched(
     return max(asyncio.run(one_run()) for _ in range(repeats))
 
 
+async def _drive_raw_socket(socket_path: str, flat: List[Dict[str, Any]]) -> float:
+    """Sequential NDJSON round trips on one bare connection."""
+    reader, writer = await asyncio.open_unix_connection(socket_path)
+    start = time.perf_counter()
+    for op in flat:
+        writer.write(json.dumps(op).encode() + b"\n")
+        await writer.drain()
+        await reader.readline()
+    wall = time.perf_counter() - start
+    writer.close()
+    return wall
+
+
+async def _drive_sdk(socket_path: str, flat: List[Dict[str, Any]]) -> float:
+    """The same round trips through AsyncServiceClient (auto-keyed)."""
+    from repro.service import AsyncServiceClient
+
+    client = AsyncServiceClient(socket_path=socket_path, client_id="bench")
+    start = time.perf_counter()
+    for op in flat:
+        await client.call(dict(op))
+    wall = time.perf_counter() - start
+    await client.close()
+    return wall
+
+
+def bench_wire(
+    programs: List[List[Dict[str, Any]]],
+    n_shards: int,
+    n_wire_ops: int,
+    repeats: int,
+) -> Tuple[float, float]:
+    """(raw-socket kops, SDK kops) over a UNIX socket, best of repeats."""
+    from repro.service import AllocationServer
+
+    flat = [op for program in programs for op in program][:n_wire_ops]
+
+    async def one_run() -> Tuple[float, float]:
+        with tempfile.TemporaryDirectory(prefix="bench-service-wire-") as workdir:
+            socket_path = os.path.join(workdir, "bench.sock")
+            service = AllocationService(_service_config(n_shards))
+            await service.start()
+            server = AllocationServer(service, socket_path=socket_path)
+            await server.start()
+            try:
+                raw_wall = await _drive_raw_socket(socket_path, flat)
+                sdk_wall = await _drive_sdk(socket_path, flat)
+            finally:
+                await server.stop()
+                await service.stop()
+        return len(flat) / raw_wall / 1000.0, len(flat) / sdk_wall / 1000.0
+
+    best_raw = best_sdk = 0.0
+    for _ in range(repeats):
+        raw_kops, sdk_kops = asyncio.run(one_run())
+        best_raw = max(best_raw, raw_kops)
+        best_sdk = max(best_sdk, sdk_kops)
+    return best_raw, best_sdk
+
+
 def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, object]:
     """Execute the stress scenarios; return the BENCH_service.json document."""
     repeats = repeats if repeats is not None else (1 if quick else 3)
@@ -233,6 +299,11 @@ def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
     metrics["service_batch_throughput_kops_x"] = bench_batched(
         programs, n_shards, chunk=64, repeats=repeats
     )
+
+    n_wire_ops = 2_000 if quick else 6_000
+    raw_kops, sdk_kops = bench_wire(programs, n_shards, n_wire_ops, repeats)
+    metrics["service_raw_socket_kops_x"] = raw_kops
+    metrics["service_sdk_kops_x"] = sdk_kops
 
     if not quick:
         with tempfile.TemporaryDirectory(prefix="bench-service-") as data_dir:

@@ -228,6 +228,17 @@ class JournalWriter:
                 os.fsync(self._handle.fileno())
             self._handle.close()
 
+    def abandon(self) -> None:
+        """Drop the handle without the final fsync (crash simulation).
+
+        Everything already committed by ``append_many`` survives, but
+        nothing is force-flushed to stable storage on the way out — the
+        chaos crash points use this so a simulated death matches what a
+        real ``kill -9`` leaves behind.
+        """
+        if not self._handle.closed:
+            self._handle.close()
+
     def __enter__(self) -> "JournalWriter":
         return self
 

@@ -75,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
             "robustness",
             "resilience",
             "convergence",
+            "service-chaos",
             "serve",
             "all",
         ],
@@ -222,6 +223,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL commit policy under --checkpoint-dir (default: one "
         "fsync per coalesced batch)",
     )
+    service.add_argument(
+        "--max-connections",
+        type=int,
+        default=128,
+        help="concurrent wire connections; excess connections get a "
+        "typed 'overloaded' error with retry_after and a clean close",
+    )
+    service.add_argument(
+        "--read-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-connection read deadline; a connection idle (or "
+        "slow-loris dribbling) past it mid-request gets a typed "
+        "'timeout' error and is disconnected (default: no deadline)",
+    )
+    service.add_argument(
+        "--dedup-window",
+        type=int,
+        default=1024,
+        help="per-shard idempotency window: keyed mutating requests "
+        "repeating a remembered key are answered with the stored "
+        "response verbatim (exactly-once across retries; 0 disables)",
+    )
+    service.add_argument(
+        "--chaos-crash",
+        metavar="SITE[:HIT]",
+        default=None,
+        help="test instrumentation: hard-exit the daemon (os._exit(70)) "
+        "the HIT-th time the named crash site is reached "
+        "(docs/SERVICE.md lists the sites); never use in production",
+    )
     return parser
 
 
@@ -279,7 +312,7 @@ def _serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.core.allocator import AllocatorConfig
-    from repro.service import ServiceConfig, run_daemon
+    from repro.service import CRASH_POINTS, ServiceConfig, run_daemon
 
     config = ServiceConfig(
         allocator=AllocatorConfig(
@@ -288,7 +321,15 @@ def _serve(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         data_dir=args.checkpoint_dir,
         durability=args.durability,
+        max_connections=args.max_connections,
+        read_timeout=args.read_timeout,
+        dedup_window=args.dedup_window,
     )
+    if args.chaos_crash is not None:
+        # Crash-point test instrumentation: die mid-operation at the
+        # named site, exactly like an opportunistic node disappearing.
+        site, _, hit = args.chaos_crash.partition(":")
+        CRASH_POINTS.arm(site, at_hit=int(hit) if hit else 1, mode="exit")
     return asyncio.run(
         run_daemon(config, socket_path=args.socket, host=args.host, port=args.port)
     )
@@ -403,6 +444,14 @@ def _run_targets(targets, args, config, shutdown, emit) -> None:
             )
         elif target == "convergence":
             emit(convergence.render(convergence.run(config)))
+        elif target == "service-chaos":
+            from repro.experiments import service_chaos
+
+            emit(
+                service_chaos.render(
+                    service_chaos.run(seed=args.fault_seed)
+                )
+            )
         print()
 
 

@@ -5,18 +5,41 @@ inline; a production scheduler instead *queries* one per task dispatch
 (Ponder-style online prediction).  This package is that deployment
 shape:
 
-* :class:`ServiceConfig` — shard count, durability, backpressure and
-  the underlying :class:`~repro.core.allocator.AllocatorConfig`.
+* :class:`ServiceConfig` — shard count, durability, backpressure,
+  connection/in-flight bounds, the idempotency dedup window, and the
+  underlying :class:`~repro.core.allocator.AllocatorConfig`.
 * :class:`AllocationService` — the in-process async API:
   ``allocate`` / ``allocate_retry`` / ``record`` / ``allocate_batch``,
-  plus snapshots, stats, and WAL-backed crash recovery.
+  plus snapshots, stats/health, and WAL-backed crash recovery.
 * :class:`AllocationServer` / :func:`run_daemon` — a newline-delimited
   JSON front end over TCP or a UNIX socket (``repro-experiments
-  serve``).
+  serve``), with typed error codes and overload shedding.
+* :class:`ServiceClient` / :class:`AsyncServiceClient` — resilient SDKs
+  with timeouts, seeded backoff + jitter reconnects, and idempotency
+  keys for exactly-once mutating calls across ambiguous failures.
+* :mod:`repro.service.chaos` — the seeded fault layer:
+  :class:`ChaosProxy` network-fault injection and the
+  :data:`CRASH_POINTS` registry of named crash sites.
 
-See ``docs/SERVICE.md`` for the architecture and the wire protocol.
+See ``docs/SERVICE.md`` for the architecture, the wire protocol, and
+the failure semantics.
 """
 
+from repro.service.chaos import (
+    CHAOS_PROFILES,
+    CRASH_POINTS,
+    ChaosConfig,
+    ChaosProxy,
+    CrashPointFired,
+    make_chaos_config,
+)
+from repro.service.client import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.service.config import ServiceConfig
 from repro.service.protocol import ProtocolError
 from repro.service.server import AllocationServer, run_daemon
@@ -33,4 +56,15 @@ __all__ = [
     "run_daemon",
     "shard_of",
     "shard_seed",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "RetryPolicy",
+    "ServiceError",
+    "ServiceUnavailable",
+    "ChaosConfig",
+    "ChaosProxy",
+    "CrashPointFired",
+    "CRASH_POINTS",
+    "CHAOS_PROFILES",
+    "make_chaos_config",
 ]

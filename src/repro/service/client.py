@@ -1,0 +1,633 @@
+"""Resilient client SDKs for the allocation service wire protocol.
+
+:class:`ServiceClient` (blocking sockets) and
+:class:`AsyncServiceClient` (asyncio streams) speak the NDJSON protocol
+with the failure semantics ``docs/SERVICE.md`` documents:
+
+* connect and read **timeouts** on every wire interaction;
+* **reconnect with exponential backoff + jitter** from the client's own
+  seeded :class:`random.Random` stream (reprolint-R2 clean, and a fixed
+  ``RetryPolicy.seed`` makes a retry schedule replayable in tests);
+* client-generated **idempotency keys** (``"<client_id>/<n>"``) on
+  every mutating operation by default, so a retry after an *ambiguous*
+  failure — the connection died after the request was sent, before a
+  response arrived — is answered exactly-once by the server's dedup
+  window rather than double-applied.
+
+The retry decision is principled, not heuristic:
+
+* a **typed retryable error** (``overloaded``, ``timeout``,
+  ``shutting_down`` — see ``RETRYABLE_CODES``) means the server
+  *refused* the request before dispatching it, so resending is always
+  safe, key or no key; ``retry_after`` hints are honored as a backoff
+  floor;
+* a **transport failure after send** is ambiguous — the operation may
+  or may not have been applied.  With an idempotency key the client
+  reconnects and resends (the dedup window collapses the duplicate);
+  a mutating operation *without* a key raises
+  :class:`ServiceUnavailable` instead of risking a double-apply.
+
+Both clients expose the same typed helpers as the in-process
+:class:`~repro.service.AllocationService` (``allocate``,
+``allocate_retry``, ``record``) plus the admin verbs and a raw
+:meth:`call` for tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.core.resources import Resource, ResourceVector
+from repro.service.protocol import (
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_LINE_BYTES,
+    RETRYABLE_CODES,
+    encode,
+)
+from repro.service.shards import MUTATING_OPS, OP_ALLOCATE, OP_RECORD, OP_RETRY
+
+__all__ = [
+    "RetryPolicy",
+    "ServiceError",
+    "ServiceUnavailable",
+    "ServiceClient",
+    "AsyncServiceClient",
+]
+
+#: Unmatched response lines tolerated while hunting for a request's
+#: ``id`` echo before the stream is declared corrupt.
+MAX_SKIPPED_LINES = 64
+
+
+class ServiceError(RuntimeError):
+    """The server answered with a non-retryable typed error."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+    @property
+    def message(self) -> str:
+        return str(self).split(": ", 1)[1]
+
+
+class ServiceUnavailable(RuntimeError):
+    """Retries exhausted, or an ambiguous failure that is unsafe to retry."""
+
+
+class _SessionRefused(Exception):
+    """A no-``id`` error line: the server refused before dispatch."""
+
+    def __init__(self, code: str, retry_after: Optional[float]) -> None:
+        super().__init__(code)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class _StreamCorrupt(Exception):
+    """The response stream stopped being parseable NDJSON."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client reconnects and retries.
+
+    ``backoff_base * backoff_factor**attempt`` seconds, capped at
+    ``backoff_max``, jittered down by up to ``jitter`` of itself from a
+    :class:`random.Random` seeded with ``seed`` — two clients with the
+    same policy and seed sleep the same schedule, which is what makes
+    chaos tests replayable.
+    """
+
+    max_attempts: int = 6
+    connect_timeout: float = 5.0
+    read_timeout: float = 5.0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(
+        self, attempt: int, rng: random.Random, retry_after: Optional[float] = None
+    ) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
+        jittered = base * (1.0 - self.jitter * rng.random())
+        if retry_after is not None:
+            jittered = max(jittered, float(retry_after))
+        return jittered
+
+
+class _BaseClient:
+    """Shared bookkeeping: ids, idempotency keys, retry classification."""
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        auto_key: bool = True,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.auto_key = auto_key
+        #: Stable prefix of generated idempotency keys.  Injectable so
+        #: tests (and deterministic replays) control the key stream;
+        #: defaults to a fresh UUID per client instance.
+        self.client_id = client_id if client_id is not None else uuid.uuid4().hex
+        self._rng = random.Random(self.retry.seed)
+        self._next_id = 0
+        self._next_key = 0
+        #: Wire attempts, including the first try of each call.
+        self.attempts = 0
+        #: Re-dials after a dropped/declared-dead connection.
+        self.reconnects = 0
+        #: Requests resent after a retryable error or ambiguous failure.
+        self.retries = 0
+        #: Unmatched response lines skipped while matching ids.
+        self.skipped_lines = 0
+
+    # -- document building -----------------------------------------------------
+
+    def _prepare(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        payload = dict(doc)
+        if "id" not in payload:
+            self._next_id += 1
+            payload["id"] = f"{self.client_id}#{self._next_id}"
+        if (
+            self.auto_key
+            and payload.get("op") in MUTATING_OPS
+            and "key" not in payload
+        ):
+            payload["key"] = self.new_key()
+        return payload
+
+    def new_key(self) -> str:
+        """A fresh idempotency key: ``"<client_id>/<n>"``."""
+        self._next_key += 1
+        return f"{self.client_id}/{self._next_key}"
+
+    @staticmethod
+    def _safe_to_resend(payload: Dict[str, Any]) -> bool:
+        """Is a resend after an *ambiguous* failure safe?
+
+        Non-mutating requests always are; mutating ones only with an
+        idempotency key (the server's dedup window absorbs the copy).
+        A batch is safe only if every nested request carries a key.
+        """
+        op = payload.get("op")
+        if op == "allocate_batch":
+            return all(
+                isinstance(sub, dict) and sub.get("key")
+                for sub in payload.get("requests", [])
+            )
+        if op in MUTATING_OPS:
+            return bool(payload.get("key"))
+        return True
+
+    @staticmethod
+    def _parse_response(line: bytes) -> Dict[str, Any]:
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _StreamCorrupt("response line is not valid JSON") from None
+        if not isinstance(doc, dict):
+            raise _StreamCorrupt("response line is not a JSON object")
+        return doc
+
+    def _match(
+        self, doc: Dict[str, Any], request_id: Any, skipped: int
+    ) -> Optional[Dict[str, Any]]:
+        """One parsed line: the answer, a refusal, or noise to skip."""
+        if doc.get("id") == request_id:
+            return doc
+        if "id" not in doc and doc.get("ok") is False:
+            error = doc.get("error") or {}
+            raise _SessionRefused(
+                str(error.get("code", "unknown")), error.get("retry_after")
+            )
+        self.skipped_lines += 1
+        if skipped + 1 > MAX_SKIPPED_LINES:
+            raise _StreamCorrupt(
+                f"no response matching id {request_id!r} within "
+                f"{MAX_SKIPPED_LINES} lines"
+            )
+        return None
+
+    def _classify(self, response: Dict[str, Any]) -> Dict[str, Any]:
+        """Raise for error responses; return the result payload."""
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        code = str(error.get("code", "unknown"))
+        message = str(error.get("message", ""))
+        if code in RETRYABLE_CODES:
+            raise _SessionRefused(code, error.get("retry_after"))
+        raise ServiceError(code, message)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "reconnects": self.reconnects,
+            "retries": self.retries,
+            "skipped_lines": self.skipped_lines,
+        }
+
+
+class ServiceClient(_BaseClient):
+    """Blocking client over a UNIX socket path or a ``(host, port)`` pair.
+
+    Usable as a context manager; safe to call from one thread at a time.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        auto_key: bool = True,
+        client_id: Optional[str] = None,
+    ) -> None:
+        if socket_path is None and not port:
+            raise ValueError("give a UNIX socket path or a TCP port")
+        super().__init__(retry=retry, auto_key=auto_key, client_id=client_id)
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    # -- connection ------------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.retry.connect_timeout)
+            sock.connect(self._socket_path)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self.retry.connect_timeout
+            )
+        sock.settimeout(self.retry.read_timeout)
+        self._sock = sock
+        self._buffer = b""
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer = b""
+
+    def _drop(self) -> None:
+        self.close()
+        self.reconnects += 1
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire ------------------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        assert self._sock is not None
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise _StreamCorrupt("unterminated response line over protocol cap")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._sock is not None
+        self._sock.sendall(encode(payload))
+        skipped = 0
+        while True:
+            doc = self._parse_response(self._read_line())
+            matched = self._match(doc, payload["id"], skipped)
+            if matched is not None:
+                return matched
+            skipped += 1
+
+    # -- the request loop ------------------------------------------------------
+
+    def call(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request document; returns the result payload.
+
+        Retries per :class:`RetryPolicy`; raises :class:`ServiceError`
+        on a non-retryable server error and
+        :class:`ServiceUnavailable` when retries are exhausted or an
+        ambiguous failure cannot safely be retried.
+        """
+        payload = self._prepare(doc)
+        last: Optional[BaseException] = None
+        for attempt in range(self.retry.max_attempts):
+            self.attempts += 1
+            if attempt:
+                self.retries += 1
+            try:
+                self.connect()
+                return self._classify(self._exchange(payload))
+            except _SessionRefused as exc:
+                # Typed refusal: never dispatched, always safe to retry.
+                last = ServiceUnavailable(f"server refused: {exc.code}")
+                if exc.code in (ERR_TIMEOUT, ERR_SHUTTING_DOWN):
+                    self._drop()  # that session is done; dial fresh
+                self._sleep(attempt, exc.retry_after)
+            except (OSError, ConnectionError, _StreamCorrupt, socket.timeout) as exc:
+                ambiguous = self._sock is not None
+                self._drop()
+                if ambiguous and not self._safe_to_resend(payload):
+                    raise ServiceUnavailable(
+                        "connection failed after an un-keyed mutating request "
+                        "was sent; outcome unknown, refusing to double-apply"
+                    ) from exc
+                last = exc
+                self._sleep(attempt, None)
+        raise ServiceUnavailable(
+            f"{self.retry.max_attempts} attempts exhausted"
+        ) from last
+
+    def _sleep(self, attempt: int, retry_after: Optional[float]) -> None:
+        if attempt + 1 >= self.retry.max_attempts:
+            return  # no more attempts; skip the pointless sleep
+        time.sleep(self.retry.delay(attempt, self._rng, retry_after))
+
+    # -- typed helpers ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("pong"))
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    def health(self) -> Dict[str, Any]:
+        return self.call({"op": "health"})
+
+    def shutdown(self) -> bool:
+        return bool(self.call({"op": "shutdown"}).get("shutting_down"))
+
+    def allocate(
+        self, category: str, task_id: int, key: Optional[str] = None
+    ) -> ResourceVector:
+        doc: Dict[str, Any] = {
+            "op": OP_ALLOCATE,
+            "category": category,
+            "task_id": task_id,
+        }
+        if key is not None:
+            doc["key"] = key
+        return ResourceVector.from_state(self.call(doc)["allocation"])
+
+    def allocate_retry(
+        self,
+        category: str,
+        task_id: int,
+        previous: ResourceVector,
+        observed: ResourceVector,
+        exhausted: Sequence[Union[Resource, str]],
+        key: Optional[str] = None,
+    ) -> ResourceVector:
+        doc: Dict[str, Any] = {
+            "op": OP_RETRY,
+            "category": category,
+            "task_id": task_id,
+            "previous": previous.state_dict(),
+            "observed": observed.state_dict(),
+            "exhausted": [str(res) for res in exhausted],
+        }
+        if key is not None:
+            doc["key"] = key
+        return ResourceVector.from_state(self.call(doc)["allocation"])
+
+    def record(
+        self,
+        category: str,
+        peaks: ResourceVector,
+        task_id: int,
+        significance: Optional[float] = None,
+        key: Optional[str] = None,
+    ) -> int:
+        doc: Dict[str, Any] = {
+            "op": OP_RECORD,
+            "category": category,
+            "task_id": task_id,
+            "peaks": peaks.state_dict(),
+        }
+        if significance is not None:
+            doc["significance"] = significance
+        if key is not None:
+            doc["key"] = key
+        return int(self.call(doc)["records_count"])
+
+
+class AsyncServiceClient(_BaseClient):
+    """asyncio client with the same retry semantics as :class:`ServiceClient`."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        auto_key: bool = True,
+        client_id: Optional[str] = None,
+    ) -> None:
+        if socket_path is None and not port:
+            raise ValueError("give a UNIX socket path or a TCP port")
+        super().__init__(retry=retry, auto_key=auto_key, client_id=client_id)
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # -- connection ------------------------------------------------------------
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        if self._socket_path is not None:
+            opening = asyncio.open_unix_connection(
+                self._socket_path, limit=MAX_LINE_BYTES + 1024
+            )
+        else:
+            opening = asyncio.open_connection(
+                self._host, self._port, limit=MAX_LINE_BYTES + 1024
+            )
+        self._reader, self._writer = await asyncio.wait_for(
+            opening, timeout=self.retry.connect_timeout
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _drop(self) -> None:
+        await self.close()
+        self.reconnects += 1
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- wire ------------------------------------------------------------------
+
+    async def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(encode(payload))
+        await self._writer.drain()
+        skipped = 0
+        while True:
+            line = await asyncio.wait_for(
+                self._reader.readline(), timeout=self.retry.read_timeout
+            )
+            if not line:
+                raise ConnectionError("server closed the connection")
+            doc = self._parse_response(line.rstrip(b"\n"))
+            matched = self._match(doc, payload["id"], skipped)
+            if matched is not None:
+                return matched
+            skipped += 1
+
+    # -- the request loop ------------------------------------------------------
+
+    async def call(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Async twin of :meth:`ServiceClient.call` (same semantics)."""
+        payload = self._prepare(doc)
+        last: Optional[BaseException] = None
+        for attempt in range(self.retry.max_attempts):
+            self.attempts += 1
+            if attempt:
+                self.retries += 1
+            try:
+                await self.connect()
+                return self._classify(await self._exchange(payload))
+            except _SessionRefused as exc:
+                last = ServiceUnavailable(f"server refused: {exc.code}")
+                if exc.code in (ERR_TIMEOUT, ERR_SHUTTING_DOWN):
+                    await self._drop()
+                await self._sleep(attempt, exc.retry_after)
+            except (
+                OSError,
+                ConnectionError,
+                _StreamCorrupt,
+                asyncio.TimeoutError,
+                ValueError,
+            ) as exc:
+                ambiguous = self._writer is not None
+                await self._drop()
+                if ambiguous and not self._safe_to_resend(payload):
+                    raise ServiceUnavailable(
+                        "connection failed after an un-keyed mutating request "
+                        "was sent; outcome unknown, refusing to double-apply"
+                    ) from exc
+                last = exc
+                await self._sleep(attempt, None)
+        raise ServiceUnavailable(
+            f"{self.retry.max_attempts} attempts exhausted"
+        ) from last
+
+    async def _sleep(self, attempt: int, retry_after: Optional[float]) -> None:
+        if attempt + 1 >= self.retry.max_attempts:
+            return
+        await asyncio.sleep(self.retry.delay(attempt, self._rng, retry_after))
+
+    # -- typed helpers ---------------------------------------------------------
+
+    async def ping(self) -> bool:
+        return bool((await self.call({"op": "ping"})).get("pong"))
+
+    async def server_stats(self) -> Dict[str, Any]:
+        return await self.call({"op": "stats"})
+
+    async def health(self) -> Dict[str, Any]:
+        return await self.call({"op": "health"})
+
+    async def shutdown(self) -> bool:
+        return bool((await self.call({"op": "shutdown"})).get("shutting_down"))
+
+    async def allocate(
+        self, category: str, task_id: int, key: Optional[str] = None
+    ) -> ResourceVector:
+        doc: Dict[str, Any] = {
+            "op": OP_ALLOCATE,
+            "category": category,
+            "task_id": task_id,
+        }
+        if key is not None:
+            doc["key"] = key
+        return ResourceVector.from_state((await self.call(doc))["allocation"])
+
+    async def allocate_retry(
+        self,
+        category: str,
+        task_id: int,
+        previous: ResourceVector,
+        observed: ResourceVector,
+        exhausted: Sequence[Union[Resource, str]],
+        key: Optional[str] = None,
+    ) -> ResourceVector:
+        doc: Dict[str, Any] = {
+            "op": OP_RETRY,
+            "category": category,
+            "task_id": task_id,
+            "previous": previous.state_dict(),
+            "observed": observed.state_dict(),
+            "exhausted": [str(res) for res in exhausted],
+        }
+        if key is not None:
+            doc["key"] = key
+        return ResourceVector.from_state((await self.call(doc))["allocation"])
+
+    async def record(
+        self,
+        category: str,
+        peaks: ResourceVector,
+        task_id: int,
+        significance: Optional[float] = None,
+        key: Optional[str] = None,
+    ) -> int:
+        doc: Dict[str, Any] = {
+            "op": OP_RECORD,
+            "category": category,
+            "task_id": task_id,
+            "peaks": peaks.state_dict(),
+        }
+        if significance is not None:
+            doc["significance"] = significance
+        if key is not None:
+            doc["key"] = key
+        return int((await self.call(doc))["records_count"])

@@ -57,6 +57,25 @@ class ServiceConfig:
         Optional static alive-capacity ceiling installed as every
         shard's capacity provider, so ``allocate_retry`` growth is
         clamped exactly as the simulator's largest-alive-worker clamp.
+    dedup_window:
+        Per-shard idempotency window: the most recent ``dedup_window``
+        keyed responses are remembered (WAL-logged with their operations
+        and carried in snapshots, so duplicate suppression survives
+        crash/resume).  A mutating request repeating a remembered
+        ``key`` is answered with the stored response verbatim — applied
+        exactly once, no new sequence number.  ``0`` disables dedup.
+    max_connections:
+        Concurrent wire connections the server accepts; excess
+        connections get a typed ``overloaded`` error (with
+        ``retry_after``) and a clean close.
+    max_inflight_requests:
+        Requests allowed in flight across all connections; excess
+        requests are answered ``overloaded`` without touching a shard.
+    read_timeout:
+        Per-connection read deadline in seconds (``None`` disables): a
+        connection idle (or dribbling, slow-loris style) past the
+        deadline mid-request gets a typed ``timeout`` error and is
+        closed.
     """
 
     allocator: AllocatorConfig = field(default_factory=lambda: AllocatorConfig(seed=0))
@@ -66,6 +85,10 @@ class ServiceConfig:
     backpressure: CircuitBreakerConfig = field(default_factory=CircuitBreakerConfig)
     queue_high_watermark: int = 1024
     capacity: Optional[ResourceVector] = None
+    dedup_window: int = 1024
+    max_connections: int = 128
+    max_inflight_requests: int = 1024
+    read_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -77,6 +100,20 @@ class ServiceConfig:
         if self.queue_high_watermark < 1:
             raise ValueError(
                 f"queue_high_watermark must be >= 1, got {self.queue_high_watermark}"
+            )
+        if self.dedup_window < 0:
+            raise ValueError(f"dedup_window must be >= 0, got {self.dedup_window}")
+        if self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.max_inflight_requests < 1:
+            raise ValueError(
+                f"max_inflight_requests must be >= 1, got {self.max_inflight_requests}"
+            )
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ValueError(
+                f"read_timeout must be > 0 when given, got {self.read_timeout}"
             )
 
     @property

@@ -25,6 +25,16 @@ __all__ = [
     "ProtocolError",
     "ADMIN_OPS",
     "MAX_LINE_BYTES",
+    "MAX_KEY_BYTES",
+    "ERROR_CODES",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_OP",
+    "ERR_TOO_LARGE",
+    "ERR_TIMEOUT",
+    "ERR_OVERLOADED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_INTERNAL",
+    "RETRYABLE_CODES",
     "parse_line",
     "validate_request",
     "encode",
@@ -34,7 +44,7 @@ __all__ = [
 
 #: Read-only / control operations the server answers without touching a
 #: shard queue.
-ADMIN_OPS = ("ping", "stats", "snapshot", "shutdown")
+ADMIN_OPS = ("ping", "stats", "health", "snapshot", "shutdown")
 
 #: Everything the front end accepts.
 REQUEST_OPS = MUTATING_OPS + ("allocate_batch",) + ADMIN_OPS
@@ -43,15 +53,54 @@ REQUEST_OPS = MUTATING_OPS + ("allocate_batch",) + ADMIN_OPS
 #: client streaming garbage into memory.
 MAX_LINE_BYTES = 1 << 20
 
+#: Ceiling on a client idempotency key (it is WAL-logged and snapshot-
+#: carried; an unbounded key would bloat the durability layer).
+MAX_KEY_BYTES = 256
+
+# Typed error codes.  Remote clients only ever see a code plus a safe
+# message; internal exception detail is logged server-side (never
+# leaked to the wire).  Clients key their retry policy off the code.
+ERR_BAD_REQUEST = "bad_request"  # malformed document; retrying is futile
+ERR_UNKNOWN_OP = "unknown_op"  # unrecognized request type
+ERR_TOO_LARGE = "too_large"  # request line over MAX_LINE_BYTES; disconnected
+ERR_TIMEOUT = "timeout"  # per-connection read deadline expired; disconnected
+ERR_OVERLOADED = "overloaded"  # connection/in-flight bound hit; honor retry_after
+ERR_SHUTTING_DOWN = "shutting_down"  # daemon is draining; reconnect later
+ERR_INTERNAL = "internal"  # unexpected server error; detail logged server-side
+
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_UNKNOWN_OP,
+    ERR_TOO_LARGE,
+    ERR_TIMEOUT,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_INTERNAL,
+)
+
+#: Error codes a client may safely retry after (with backoff, and an
+#: idempotency key for mutating operations).
+RETRYABLE_CODES = (ERR_OVERLOADED, ERR_TIMEOUT, ERR_SHUTTING_DOWN)
+
 
 class ProtocolError(ValueError):
-    """A request document is malformed; the connection stays usable."""
+    """A request document is malformed; the connection stays usable.
+
+    Carries the typed wire code (default ``bad_request``) so the server
+    can answer with machine-readable errors without string matching.
+    """
+
+    def __init__(self, message: str, code: str = ERR_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def parse_line(line: bytes) -> Dict[str, Any]:
     """Decode one request line into a document, or raise ProtocolError."""
     if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes", code=ERR_TOO_LARGE
+        )
     try:
         doc = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -105,10 +154,21 @@ def validate_request(
     op = doc.get("op")
     if op not in REQUEST_OPS:
         raise ProtocolError(
-            f"unknown op {op!r}; expected one of {sorted(REQUEST_OPS)}"
+            f"unknown op {op!r}; expected one of {sorted(REQUEST_OPS)}",
+            code=ERR_UNKNOWN_OP,
         )
     if op in ADMIN_OPS:
         return
+    key = doc.get("key")
+    if key is not None:
+        if not isinstance(key, str) or not key:
+            raise ProtocolError(
+                f"{op}: 'key' must be a non-empty string when given"
+            )
+        if len(key.encode("utf-8")) > MAX_KEY_BYTES:
+            raise ProtocolError(
+                f"{op}: idempotency key exceeds {MAX_KEY_BYTES} bytes"
+            )
     if op == "allocate_batch":
         if depth > 0:
             raise ProtocolError("allocate_batch cannot be nested")
@@ -163,8 +223,21 @@ def ok_response(request_id: Optional[Any], result: Mapping[str, Any]) -> Dict[st
     return doc
 
 
-def error_response(request_id: Optional[Any], message: str) -> Dict[str, Any]:
-    doc: Dict[str, Any] = {"ok": False, "error": message}
+def error_response(
+    request_id: Optional[Any],
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A typed error document: ``{"ok": false, "error": {code, message}}``.
+
+    ``retry_after`` (seconds) is attached for overload shedding so
+    well-behaved clients back off by at least that much before retrying.
+    """
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    doc: Dict[str, Any] = {"ok": False, "error": error}
     if request_id is not None:
         doc["id"] = request_id
     return doc

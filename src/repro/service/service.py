@@ -38,6 +38,7 @@ from repro.checkpoint import (
 )
 from repro.core.allocator import TaskOrientedAllocator
 from repro.core.resources import Resource, ResourceVector
+from repro.service.chaos import CRASH_POINTS
 from repro.service.config import ServiceConfig
 from repro.service.protocol import ADMIN_OPS, ProtocolError, validate_request
 from repro.service.shards import (
@@ -52,6 +53,12 @@ __all__ = ["AllocationService", "SNAPSHOT_FILENAME"]
 
 #: The multi-shard snapshot envelope inside ``data_dir``.
 SNAPSHOT_FILENAME = "service.snapshot.json"
+
+# Crash sites around the snapshot write: "before" loses the cut (the
+# WALs still cover everything), "after" has the cut on disk but the
+# WALs not yet truncated (recovery's seq filter skips the overlap).
+SITE_SNAPSHOT_BEFORE = CRASH_POINTS.register("service.snapshot.before")
+SITE_SNAPSHOT_AFTER = CRASH_POINTS.register("service.snapshot.after")
 
 
 def _wal_filename(index: int) -> str:
@@ -111,6 +118,7 @@ class AllocationService:
                     durability=config.durability,
                     backpressure=config.backpressure,
                     queue_high_watermark=config.queue_high_watermark,
+                    dedup_window=config.dedup_window,
                 )
             )
 
@@ -178,6 +186,7 @@ class AllocationService:
 
     def _write_snapshot(self) -> str:
         """Write the multi-shard envelope (callers ensure quiescence)."""
+        CRASH_POINTS.hit(SITE_SNAPSHOT_BEFORE)
         path = self._snapshot_path()
         save_checkpoint(
             path,
@@ -187,6 +196,7 @@ class AllocationService:
                 "shards": [shard.state() for shard in self._shards],
             },
         )
+        CRASH_POINTS.hit(SITE_SNAPSHOT_AFTER)
         return path
 
     async def stop(self, snapshot: bool = True) -> None:
@@ -343,6 +353,28 @@ class AllocationService:
             "ops": sum(s["seq"] for s in shards),
             "shed": sum(s["shed"] for s in shards),
             "recovered_ops": self.recovered_ops,
+            "shards": shards,
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness view for the wire ``health`` request.
+
+        ``ok`` is false once any shard writer died at a crash point (or
+        was aborted); the per-shard rows carry queue depth, breaker
+        state, dedup occupancy, and durability wiring so an operator
+        can see *why* before the daemon is bounced.
+        """
+        shards = [shard.stats() for shard in self._shards]
+        for shard, row in zip(self._shards, shards):
+            row["crashed"] = shard.crashed
+        return {
+            "ok": self._started and not any(s["crashed"] for s in shards),
+            "started": self._started,
+            "durability": self._config.durability,
+            "wal": self._config.data_dir is not None,
+            "dedup_window": self._config.dedup_window,
+            "recovered_ops": self.recovered_ops,
+            "dedup_hits": sum(s["dedup_hits"] for s in shards),
             "shards": shards,
         }
 

@@ -15,20 +15,37 @@ The applied-operation sequence number (``seq``) is the shard's logical
 clock: it orders the WAL, stamps every response, and drives the
 backpressure breaker (so breaker cooldowns count operations, never
 wall-clock — the shard stays deterministic and reprolint-R1 clean).
+
+**Exactly-once:** an operation carrying a client idempotency ``key`` is
+applied at most once per key.  The shard remembers the last
+``dedup_window`` keyed responses; a repeat of a remembered key is
+answered with the stored response *verbatim* — no new seq, no WAL
+entry, no allocator mutation.  Keys ride the WAL inside their operation
+documents and the remembered responses are carried in snapshots, so
+duplicate suppression survives crash/resume: a client that retries the
+same key across a mid-WAL-append crash and a daemon restart observes
+one applied allocation and bit-identical responses.
+
+**Crash points:** the WAL-append and apply boundaries host named
+:mod:`repro.service.chaos` crash sites, so "what if we die here?" is a
+seeded test, not a thought experiment.  With nothing armed the hits are
+a single attribute check.
 """
 
 from __future__ import annotations
 
 import asyncio
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.checkpoint import CheckpointError, JournalWriter
 from repro.core.allocator import TaskOrientedAllocator
 from repro.core.resources import RESOURCES, ResourceVector
+from repro.service.chaos import CRASH_POINTS, CrashPointFired
 from repro.sim.resilience import CircuitBreaker, CircuitBreakerConfig
 
 __all__ = [
@@ -48,6 +65,15 @@ OP_RECORD = "record"
 
 #: The operations a shard applies (and write-ahead logs).
 MUTATING_OPS = (OP_ALLOCATE, OP_RETRY, OP_RECORD)
+
+# Named crash sites at the durability boundaries of the single writer.
+# "before" a WAL append the batch is lost entirely (client retries
+# re-apply it); "after" it the batch is logged but unapplied (recovery
+# replays it and the dedup window answers the retries).
+SITE_WAL_APPEND_BEFORE = CRASH_POINTS.register("shard.wal-append.before")
+SITE_WAL_APPEND_AFTER = CRASH_POINTS.register("shard.wal-append.after")
+SITE_APPLY_BEFORE = CRASH_POINTS.register("shard.apply.before")
+SITE_APPLY_AFTER = CRASH_POINTS.register("shard.apply.after")
 
 
 def shard_of(category: str, n_shards: int) -> int:
@@ -148,6 +174,7 @@ class AllocationShard:
         durability: str = "batch",
         backpressure: Optional[CircuitBreakerConfig] = None,
         queue_high_watermark: int = 1024,
+        dedup_window: int = 0,
     ) -> None:
         self.index = index
         self.allocator = allocator
@@ -155,11 +182,18 @@ class AllocationShard:
         self.seq = 0
         self.shed_count = 0
         self.failed_ops = 0
+        #: Keyed requests answered from the dedup window instead of applied.
+        self.dedup_hits = 0
+        #: Set when a crash point killed the writer (tests restart the service).
+        self.crashed = False
         self._wal_path = wal_path
         self._durability = durability
         self._wal: Optional[JournalWriter] = None
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self._watermark = queue_high_watermark
+        self._dedup_window = dedup_window
+        #: key -> stored response, oldest first (insertion == apply order).
+        self._dedup: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._breaker: Optional[CircuitBreaker] = None
         if backpressure is not None and backpressure.enabled:
             self._breaker = CircuitBreaker(backpressure)
@@ -240,32 +274,82 @@ class AllocationShard:
     # -- the single writer -----------------------------------------------------
 
     async def _writer_loop(self) -> None:
-        while True:
-            items: List[Any] = [await self._queue.get()]
-            while not self._queue.empty():
-                items.append(self._queue.get_nowait())
-            batch: List[_Work] = []
-            for item in items:
-                if isinstance(item, _Work):
-                    batch.append(item)
-                    continue
+        try:
+            while True:
+                items: List[Any] = [await self._queue.get()]
+                while not self._queue.empty():
+                    items.append(self._queue.get_nowait())
+                batch: List[_Work] = []
+                for item in items:
+                    if isinstance(item, _Work):
+                        batch.append(item)
+                        continue
+                    self._commit(batch)
+                    batch = []
+                    if isinstance(item, _Stop):
+                        return
+                    if isinstance(item, _Quiesce):
+                        item.parked.set()
+                        await item.release.wait()
                 self._commit(batch)
-                batch = []
-                if isinstance(item, _Stop):
-                    return
-                if isinstance(item, _Quiesce):
-                    item.parked.set()
-                    await item.release.wait()
-            self._commit(batch)
+        except CrashPointFired as exc:
+            self._die(exc)
+
+    def _die(self, exc: CrashPointFired) -> None:
+        """An armed crash point fired mid-commit: simulate process death.
+
+        Everything still queued fails with the same ambiguous
+        :class:`CrashPointFired` the in-flight batch got — exactly what
+        a remote client observes when the daemon dies under it — and
+        the WAL handle is dropped without a final fsync (whatever
+        reached the OS survives, nothing else does).
+        """
+        self.crashed = True
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if isinstance(item, _Work) and not item.future.done():
+                item.future.set_exception(exc)
+            elif isinstance(item, _Quiesce):  # pragma: no cover - defensive
+                item.parked.set()
+        if self._wal is not None:
+            self._wal.abandon()
+            self._wal = None
 
     def _commit(self, batch: List[_Work]) -> None:
-        """Group-commit one drained batch: plan, log, apply, reply."""
+        """Group-commit one drained batch: dedup, plan, log, apply, reply.
+
+        On :class:`CrashPointFired` every future in the batch fails with
+        the ambiguous crash error (some operations may already be logged
+        or applied — the client cannot know, which is the point) and the
+        exception propagates to :meth:`_writer_loop`.
+        """
         if not batch:
             return
-        planned: List[tuple] = []  # (work, op, seq, shed)
+        try:
+            self._commit_inner(batch)
+        except CrashPointFired as exc:
+            for work in batch:
+                if not work.future.done():
+                    work.future.set_exception(exc)
+            raise
+
+    def _commit_inner(self, batch: List[_Work]) -> None:
+        # (work, op, seq, shed, key, dup): dup entries resolve from the
+        # dedup window after the batch applies.
+        planned: List[Tuple[_Work, Dict[str, Any], int, bool, Optional[str], bool]] = []
         entries: List[Dict[str, Any]] = []
+        # Keys planned for apply in THIS batch: group commit can coalesce
+        # two submissions of the same key into one batch, where the dedup
+        # window (populated only at apply time) cannot yet see the first.
+        planned_keys: Dict[str, int] = {}
         for work in batch:
             for op in work.ops:
+                key = op.get("key") if self._dedup_window else None
+                if key is not None and (key in self._dedup or key in planned_keys):
+                    planned.append((work, op, 0, False, key, True))
+                    continue
+                if key is not None:
+                    planned_keys[key] = id(work)
                 self.seq += 1
                 shed = False
                 if self._breaker is not None:
@@ -273,16 +357,41 @@ class AllocationShard:
                     if op["op"] in (OP_ALLOCATE, OP_RETRY):
                         shed = self._breaker.conservative(now)
                     self._breaker.record_outcome(work.depth <= self._watermark, now)
-                planned.append((work, op, self.seq, shed))
+                planned.append((work, op, self.seq, shed, key, False))
                 entry: Dict[str, Any] = {"seq": self.seq, "op": op}
                 if shed:
                     entry["shed"] = True
                 entries.append(entry)
-        if self._wal is not None:
-            self._wal.append_many(entries)
+        if entries:
+            CRASH_POINTS.hit(SITE_WAL_APPEND_BEFORE)
+            if self._wal is not None:
+                self._wal.append_many(entries)
+            CRASH_POINTS.hit(SITE_WAL_APPEND_AFTER)
         results: Dict[int, List[Dict[str, Any]]] = {}
         errors: Dict[int, BaseException] = {}
-        for work, op, seq, shed in planned:
+        for work, op, seq, shed, key, dup in planned:
+            if dup:
+                # Exactly-once: answer the retry with the stored
+                # response verbatim — no allocator touch, no new seq.
+                # A same-batch duplicate resolves here too: its first
+                # occurrence applied (and was remembered) earlier in
+                # this very loop.
+                stored = self._dedup.get(key) if key is not None else None
+                if stored is not None:
+                    self.dedup_hits += 1
+                    results.setdefault(id(work), []).append(dict(stored))
+                else:
+                    # The first occurrence failed to apply; mirror its
+                    # error so both callers see the same outcome.
+                    exc = errors.get(
+                        planned_keys.get(key, -1),
+                        RuntimeError(f"duplicate of failed keyed op {key!r}"),
+                    )
+                    self.failed_ops += 1
+                    errors[id(work)] = exc
+                    results.setdefault(id(work), []).append({"error": str(exc)})
+                continue
+            CRASH_POINTS.hit(SITE_APPLY_BEFORE)
             try:
                 result = apply_op(self.allocator, op, shed=shed)
             except Exception as exc:
@@ -292,10 +401,13 @@ class AllocationShard:
                 self.failed_ops += 1
                 errors[id(work)] = exc
                 result = {"error": str(exc)}
+            CRASH_POINTS.hit(SITE_APPLY_AFTER)
             if shed:
                 self.shed_count += 1
             result["shard"] = self.index
             result["seq"] = seq
+            if key is not None and id(work) not in errors:
+                self._remember(key, result)
             results.setdefault(id(work), []).append(result)
         for work in batch:
             if work.future.done():  # pragma: no cover - cancelled client
@@ -306,6 +418,12 @@ class AllocationShard:
             else:
                 work.future.set_result(results[id(work)])
 
+    def _remember(self, key: str, result: Dict[str, Any]) -> None:
+        """Store a keyed response; evict the oldest beyond the window."""
+        self._dedup[key] = dict(result)
+        while len(self._dedup) > self._dedup_window:
+            self._dedup.popitem(last=False)
+
     # -- durability ------------------------------------------------------------
 
     def state(self) -> Dict[str, Any]:
@@ -315,6 +433,8 @@ class AllocationShard:
             "shed_count": self.shed_count,
             "allocator": self.allocator.state_dict(),
             "breaker": self._breaker.state_dict() if self._breaker is not None else None,
+            "dedup": [[key, dict(resp)] for key, resp in self._dedup.items()],
+            "dedup_hits": self.dedup_hits,
         }
 
     def restore(self, state: Dict[str, Any]) -> None:
@@ -323,6 +443,10 @@ class AllocationShard:
         self.allocator.load_state(state["allocator"])
         if self._breaker is not None and state.get("breaker") is not None:
             self._breaker.load_state(state["breaker"])
+        self._dedup = OrderedDict(
+            (str(key), dict(resp)) for key, resp in state.get("dedup", [])
+        )
+        self.dedup_hits = int(state.get("dedup_hits", 0))
 
     def replay(self, entries: Sequence[Dict[str, Any]]) -> int:
         """Re-apply WAL entries newer than the restored snapshot.
@@ -343,10 +467,19 @@ class AllocationShard:
                     f"next entry is {seq}"
                 )
             shed = bool(entry.get("shed", False))
-            apply_op(self.allocator, entry["op"], shed=shed)
+            op = entry["op"]
+            result = apply_op(self.allocator, op, shed=shed)
             if shed:
                 self.shed_count += 1
             self.seq = seq
+            key = op.get("key") if self._dedup_window else None
+            if key is not None:
+                # Rebuild the dedup window exactly as the live commit
+                # did: apply_op is deterministic, so the reconstructed
+                # response is bit-identical to the one the crash lost.
+                result["shard"] = self.index
+                result["seq"] = seq
+                self._remember(key, result)
             applied += 1
         return applied
 
@@ -363,6 +496,8 @@ class AllocationShard:
             "queue_depth": self.queue_depth,
             "shed": self.shed_count,
             "failed_ops": self.failed_ops,
+            "dedup_size": len(self._dedup),
+            "dedup_hits": self.dedup_hits,
             "categories": len(self.allocator.categories()),
             "records": sum(self.allocator.records_counts().values()),
             "breaker": (

@@ -195,6 +195,100 @@ def test_concurrent_schedules_linearize(schedule):
 
 
 @settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=_schedule, n_dup_clients=st.integers(min_value=2, max_value=4))
+def test_duplicate_keyed_submissions_linearize_exactly_once(
+    schedule, n_dup_clients
+):
+    """Exactly-once under concurrency: N clients race the SAME keyed ops.
+
+    Several clients concurrently submit an identical keyed program (as
+    retrying peers would after an ambiguous failure).  Linearizability
+    plus the dedup window demands: each key applies exactly once (per-
+    shard seqs are gap-free over the *distinct* ops), every duplicate
+    response is bit-identical to the first, and the final digests match
+    a single-threaded replay of just the distinct operations.
+    """
+    program = schedule[0]  # one program, raced by every client
+
+    async def scenario():
+        config = _service_config(dedup_window=256)
+        service = AllocationService(config)
+        await service.start()
+
+        async def racer(offset: int):
+            log = []
+            for position, step in enumerate(program):
+                for _ in range((step[2] + offset) % 4):
+                    await asyncio.sleep(0)
+                # Same client index (0) for every racer: identical docs.
+                docs = _docs_for_step(0, position, step)
+                for order, doc in enumerate(docs):
+                    doc["key"] = f"lin/{position}/{order}"
+                if step[0] == "batch":
+                    responses = await service.submit_batch(docs)
+                    log.extend(zip(docs, responses))
+                else:
+                    log.append((docs[0], await service.submit(docs[0])))
+            return log
+
+        logs = await asyncio.gather(*(racer(i) for i in range(n_dup_clients)))
+        digests = service.shard_digests()
+        dedup_hits = sum(shard.dedup_hits for shard in service.shards)
+        await service.stop()
+        return logs, digests, dedup_hits
+
+    logs, digests, dedup_hits = asyncio.run(scenario())
+
+    # Every racer saw bit-identical responses for every keyed op.
+    by_key: Dict[str, Dict[str, Any]] = {}
+    n_ops = 0
+    for log in logs:
+        for doc, response in log:
+            n_ops += 1
+            first = by_key.setdefault(doc["key"], response)
+            assert response == first, (
+                f"duplicate submissions of key {doc['key']!r} got "
+                "diverging responses"
+            )
+    distinct = len(by_key)
+    # n_dup_clients racers, one applied copy each: the rest were dedup
+    # hits (answered from the window, no allocator touch).
+    assert dedup_hits == n_ops - distinct
+
+    # Each key applied once: seqs over the distinct ops are gap-free,
+    # and the claimed order replays to the same digests.
+    config = _service_config(dedup_window=256)
+    per_shard: Dict[int, List[Tuple[int, Dict[str, Any], Dict[str, Any]]]] = {
+        i: [] for i in range(config.n_shards)
+    }
+    for log in logs:
+        for doc, response in log:
+            if by_key[doc["key"]] is response or response == by_key[doc["key"]]:
+                per_shard[response["shard"]].append((response["seq"], doc, response))
+    for index in range(config.n_shards):
+        claimed = sorted({seq for seq, _, _ in per_shard[index]})
+        assert claimed == list(range(1, len(claimed) + 1)), (
+            f"shard {index}: duplicate submissions consumed extra seqs"
+        )
+        reference = TaskOrientedAllocator(config.shard_allocator_config(index))
+        seen: set = set()
+        for seq, doc, response in sorted(per_shard[index]):
+            if seq in seen:
+                continue
+            seen.add(seq)
+            shed = response.get("mode") == "conservative"
+            expected = apply_op(reference, doc, shed=shed)
+            assert _strip(response) == expected
+        assert digests[index] == reference.digest(), (
+            f"shard {index}: state diverged — some key applied twice"
+        )
+
+
+@settings(
     max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
