@@ -9,7 +9,11 @@ writing a new rule.
 
 from __future__ import annotations
 
-from repro.analysis.rules.checkpointing import RawArtifactWriteRule, StateSymmetryRule
+from repro.analysis.rules.checkpointing import (
+    RawArtifactWriteRule,
+    RawDurableWriteRule,
+    StateSymmetryRule,
+)
 from repro.analysis.rules.cli_config import CliConfigDriftRule
 from repro.analysis.rules.determinism import (
     GlobalRngRule,
@@ -24,6 +28,7 @@ __all__ = [
     "ImpureSnapshotRule",
     "ListenerPurityRule",
     "RawArtifactWriteRule",
+    "RawDurableWriteRule",
     "StateSymmetryRule",
     "SwallowedExceptRule",
     "WallClockRule",

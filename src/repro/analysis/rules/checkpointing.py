@@ -14,6 +14,15 @@ R4 ``raw-artifact-write``
     ``append_jsonl``).  A bare ``open(path, "w")``, ``json.dump`` or
     ``Path.write_text`` can leave a torn half-file behind a crash,
     which the resume machinery would then trust.
+R9 ``raw-durable-write``
+    Stricter than R4 for the service's durable storage: any builtin
+    ``open()`` in write mode whose path expression mentions a
+    ``*.wal`` or ``*.snapshot*`` file must live in
+    :mod:`repro.checkpoint`.  WAL and snapshot files carry CRC32
+    frames, digests, and fsyncgate handle discipline — a raw write
+    from anywhere else bypasses all three and plants corruption the
+    recovery path will later quarantine.  Unlike R4 this rule has no
+    package-level exemptions beyond ``repro/checkpoint.py`` itself.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from typing import Dict, Iterable, Optional
 from repro.analysis._ast_utils import ImportMap, resolve_call_target, self_attribute_fields
 from repro.analysis.core import Finding, ModuleSource, Project, Rule, register_rule
 
-__all__ = ["RawArtifactWriteRule", "StateSymmetryRule"]
+__all__ = ["RawArtifactWriteRule", "RawDurableWriteRule", "StateSymmetryRule"]
 
 #: Modules allowed to perform raw writes: the atomic-write helpers
 #: themselves, and the analysis package (stdlib-only by design, with
@@ -166,4 +175,67 @@ class RawArtifactWriteRule(Rule):
                     node,
                     f"{target}() streams into an already-truncated file; serialize to "
                     "a string and use repro.checkpoint.write_json_atomic",
+                )
+
+
+#: Substrings that mark a path literal as durable service storage.
+_DURABLE_PATH_MARKERS = (".wal", ".snapshot")
+
+
+def _durable_path_marker(call: ast.Call) -> Optional[str]:
+    """The durable-storage marker in the call's path argument, if any.
+
+    Looks for a string literal anywhere in the path expression's
+    subtree, so ``open(f"{d}/shard.wal", "a")``,
+    ``open(os.path.join(d, "service.snapshot.json"), "w")`` and plain
+    constants are all caught.
+    """
+    path_node: Optional[ast.expr] = None
+    if call.args:
+        path_node = call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "file":
+            path_node = kw.value
+    if path_node is None:
+        return None
+    for node in ast.walk(path_node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            for marker in _DURABLE_PATH_MARKERS:
+                if marker in node.value:
+                    return marker
+    return None
+
+
+@register_rule
+class RawDurableWriteRule(Rule):
+    id = "R9"
+    name = "raw-durable-write"
+    description = (
+        "WAL/snapshot files must only be written by repro.checkpoint — a raw "
+        "open() write bypasses CRC32 frames, digests, and fsync discipline"
+    )
+
+    def check(self, module: ModuleSource, project: Project) -> Iterable[Finding]:
+        if module.tree is None or not module.in_package("repro"):
+            return
+        if module.in_package("repro/checkpoint.py"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "open"):
+                continue
+            mode = _open_write_mode(node)
+            if mode is None:
+                continue
+            marker = _durable_path_marker(node)
+            if marker is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raw open(..., {mode!r}) on a '*{marker}*' path; durable "
+                    "storage writes must go through repro.checkpoint "
+                    "(JournalWriter / write_text_atomic / save_checkpoint) so "
+                    "frames stay checksummed and fsync semantics hold",
                 )

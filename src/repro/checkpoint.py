@@ -39,11 +39,16 @@ import signal as _signal
 import tempfile
 import threading
 import time as _time
+import zlib
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "FORMAT_VERSION",
+    "FRAME_PREFIX",
     "CheckpointError",
+    "JournalCorruptError",
+    "JournalRecovery",
     "SimulationInterrupted",
     "GridInterrupted",
     "write_text_atomic",
@@ -51,6 +56,13 @@ __all__ = [
     "append_jsonl",
     "JournalWriter",
     "read_jsonl",
+    "recover_jsonl",
+    "repair_journal_tail",
+    "quarantine_file",
+    "encode_frame",
+    "decode_frame",
+    "set_fs_fault_injector",
+    "file_digest",
     "canonical_json",
     "state_digest",
     "generator_state",
@@ -71,6 +83,50 @@ MAGIC = "repro-checkpoint"
 
 class CheckpointError(RuntimeError):
     """A checkpoint could not be written, read, or verified."""
+
+
+class JournalCorruptError(CheckpointError):
+    """A journal has a malformed record *before* its final line.
+
+    A torn final line is normal crash debris and is silently dropped; a
+    bad line mid-stream means the storage layer lied — bit rot, a short
+    write that later got appended over, a truncated copy.  The error
+    carries enough context to quarantine and report precisely instead of
+    crashing whoever tried to read the journal.
+
+    Attributes
+    ----------
+    path:
+        The journal file.
+    line:
+        1-based line number of the first corrupt record.
+    offset:
+        Byte offset of that line's first byte.
+    reason:
+        What the frame/JSON decoder rejected.
+    """
+
+    def __init__(self, path: str, line: int, offset: int, reason: str) -> None:
+        super().__init__(
+            f"corrupt journal {path!r}: malformed line {line} "
+            f"(byte offset {offset}): {reason}"
+        )
+        self.path = path
+        self.line = line
+        self.offset = offset
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """Report of what :func:`recover_jsonl` did about a corrupt journal."""
+
+    path: str
+    line: int
+    offset: int
+    reason: str
+    docs_kept: int
+    quarantined_to: Optional[str]
 
 
 class SimulationInterrupted(RuntimeError):
@@ -112,6 +168,116 @@ class GridInterrupted(RuntimeError):
 
 
 # ---------------------------------------------------------------------------
+# Checksummed journal frames
+# ---------------------------------------------------------------------------
+
+#: Prefix of version-1 checksummed journal frames.  A frame is one line,
+#: ``F1 <payload-bytes> <crc32-hex8> <payload-json>`` — self-describing
+#: (the header states the payload's byte length) and checksummed (CRC32
+#: over the payload bytes).  The prefix cannot be confused with legacy
+#: raw-JSON records (a JSON document never starts with ``F``), so
+#: readers accept both formats line by line and old journals stay
+#: readable forever.
+FRAME_PREFIX = "F1 "
+
+_CRC_HEX_DIGITS = 8
+
+
+def encode_frame(doc: Any) -> str:
+    """Render ``doc`` as one self-describing checksummed journal line."""
+    payload = json.dumps(doc, indent=None, separators=(",", ":"))
+    if "\n" in payload:  # pragma: no cover - json never emits raw newlines
+        raise CheckpointError("journal documents must serialize to one line")
+    raw = payload.encode("utf-8")
+    return f"{FRAME_PREFIX}{len(raw)} {zlib.crc32(raw):08x} {payload}"
+
+
+def decode_frame(line: str) -> Any:
+    """Decode one frame line; raises :class:`ValueError` on any damage.
+
+    The length check runs before the CRC so a truncated or extended
+    payload reports the cheaper, more precise failure; the CRC then
+    catches every single-bit flip (and all burst errors up to 32 bits)
+    anywhere in the payload.
+    """
+    parts = line.split(" ", 3)
+    if len(parts) != 4 or parts[0] != "F1":
+        raise ValueError("truncated frame header")
+    length_text, crc_text, payload = parts[1], parts[2], parts[3]
+    if not (length_text and length_text.isascii() and length_text.isdigit()):
+        raise ValueError(f"bad frame length field {length_text!r}")
+    raw = payload.encode("utf-8")
+    if len(raw) != int(length_text):
+        raise ValueError(
+            f"frame length mismatch: header says {length_text} bytes, "
+            f"payload is {len(raw)}"
+        )
+    # Canonical lowercase hex only: int(x, 16) would also accept
+    # "DCDD80AB", letting a case-flipping bit error (0x20) slip through.
+    if len(crc_text) != _CRC_HEX_DIGITS or any(
+        c not in "0123456789abcdef" for c in crc_text
+    ):
+        raise ValueError(f"bad frame crc field {crc_text!r}")
+    expected_crc = int(crc_text, 16)
+    actual_crc = zlib.crc32(raw)
+    if actual_crc != expected_crc:
+        raise ValueError(
+            f"frame crc mismatch: header says {crc_text}, "
+            f"payload hashes to {actual_crc:08x}"
+        )
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:  # pragma: no cover - writer bug
+        raise ValueError(f"crc-valid frame holds invalid JSON: {exc}") from None
+
+
+def _decode_journal_line(line: str) -> Any:
+    """Decode one journal line, framed or legacy; raises ``ValueError``."""
+    if line.startswith(FRAME_PREFIX):
+        return decode_frame(line)
+    return json.loads(line)
+
+
+# ---------------------------------------------------------------------------
+# Filesystem fault injection hook
+# ---------------------------------------------------------------------------
+
+#: The installed filesystem fault injector, or ``None`` — the default,
+#: where every journal/snapshot write is plain direct IO.  Installed and
+#: removed by :mod:`repro.faultfs` (a leaf module, so the dependency
+#: graph stays acyclic); this module only holds the hook and pays a
+#: single ``is None`` check on the hot path.
+_FS_FAULTS: Optional[Any] = None
+
+
+def set_fs_fault_injector(injector: Optional[Any]) -> Optional[Any]:
+    """Install (``None``: remove) the filesystem fault injector.
+
+    Returns the previously installed injector so tests can restore it.
+    The injector must expose ``write(handle, text, path)`` and
+    ``fsync(handle, path)``; see :class:`repro.faultfs.FsFaultInjector`.
+    """
+    global _FS_FAULTS
+    previous = _FS_FAULTS
+    _FS_FAULTS = injector
+    return previous
+
+
+def _fault_write(handle: Any, text: str, path: str) -> None:
+    if _FS_FAULTS is None:
+        handle.write(text)
+    else:
+        _FS_FAULTS.write(handle, text, path)
+
+
+def _fault_fsync(handle: Any, path: str) -> None:
+    if _FS_FAULTS is None:
+        os.fsync(handle.fileno())
+    else:
+        _FS_FAULTS.fsync(handle, path)
+
+
+# ---------------------------------------------------------------------------
 # Atomic IO
 # ---------------------------------------------------------------------------
 
@@ -130,9 +296,9 @@ def write_text_atomic(path: str, text: str) -> None:
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+            _fault_write(handle, text, path)
             handle.flush()
-            os.fsync(handle.fileno())
+            _fault_fsync(handle, path)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -148,18 +314,18 @@ def write_json_atomic(path: str, doc: Any) -> None:
 
 
 def append_jsonl(path: str, doc: Any) -> None:
-    """Append one JSON line durably (write + flush + fsync).
+    """Append one checksummed journal line durably (write + flush + fsync).
 
     The classic write-ahead-log append: a crash can tear at most the
-    *final* line, which :func:`read_jsonl` tolerates and drops.
+    *final* line, which :func:`read_jsonl` tolerates and drops.  Records
+    are written as checksummed frames (:func:`encode_frame`) so later
+    bit rot is detected rather than silently decoded.
     """
-    line = json.dumps(doc, indent=None, separators=(",", ":"))
-    if "\n" in line:  # pragma: no cover - json never emits raw newlines
-        raise CheckpointError("journal documents must serialize to one line")
+    line = encode_frame(doc)
     with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
+        _fault_write(handle, line + "\n", path)
         handle.flush()
-        os.fsync(handle.fileno())
+        _fault_fsync(handle, path)
 
 
 class JournalWriter:
@@ -174,6 +340,14 @@ class JournalWriter:
     tolerance plus the reader's sequence-number filter already handle.
     ``sync="op"`` restores the per-document fsync, ``sync="none"``
     leaves flushing to the OS (benchmarks and tests only).
+
+    Records are written as checksummed frames (:func:`encode_frame`);
+    all IO goes through the filesystem fault hook, so a seeded
+    :class:`repro.faultfs.FsFaultInjector` can drive ENOSPC/EIO/short
+    writes/failed fsyncs through this exact code path.  After a write or
+    fsync failure the writer must be discarded and the file reopened —
+    fsyncgate semantics: a failed fsync may have dropped the dirty pages,
+    so retrying on the same handle would falsely report durability.
     """
 
     SYNC_MODES = ("batch", "op", "none")
@@ -195,21 +369,17 @@ class JournalWriter:
         """Durably append ``docs`` in order with one group commit."""
         if not docs:
             return
-        lines = []
-        for doc in docs:
-            line = json.dumps(doc, indent=None, separators=(",", ":"))
-            if "\n" in line:  # pragma: no cover - json never emits raw newlines
-                raise CheckpointError("journal documents must serialize to one line")
-            lines.append(line)
-            if self._sync == "op":
-                self._handle.write(line + "\n")
+        lines = [encode_frame(doc) for doc in docs]
+        if self._sync == "op":
+            for line in lines:
+                _fault_write(self._handle, line + "\n", self._path)
                 self._handle.flush()
-                os.fsync(self._handle.fileno())
-        if self._sync != "op":
-            self._handle.write("\n".join(lines) + "\n")
+                _fault_fsync(self._handle, self._path)
+        else:
+            _fault_write(self._handle, "\n".join(lines) + "\n", self._path)
             self._handle.flush()
             if self._sync == "batch":
-                os.fsync(self._handle.fileno())
+                _fault_fsync(self._handle, self._path)
 
     def append(self, doc: Any) -> None:
         self.append_many([doc])
@@ -225,7 +395,7 @@ class JournalWriter:
         if not self._handle.closed:
             self._handle.flush()
             if self._sync != "none":
-                os.fsync(self._handle.fileno())
+                _fault_fsync(self._handle, self._path)
             self._handle.close()
 
     def abandon(self) -> None:
@@ -234,10 +404,15 @@ class JournalWriter:
         Everything already committed by ``append_many`` survives, but
         nothing is force-flushed to stable storage on the way out — the
         chaos crash points use this so a simulated death matches what a
-        real ``kill -9`` leaves behind.
+        real ``kill -9`` leaves behind.  Also the exit path after a
+        storage fault: a handle whose write or fsync failed must never
+        be fsynced again, only dropped.
         """
         if not self._handle.closed:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - a dying handle may complain
+                pass
 
     def __enter__(self) -> "JournalWriter":
         return self
@@ -249,25 +424,135 @@ class JournalWriter:
 def read_jsonl(path: str) -> List[Any]:
     """Read a JSONL journal, dropping a torn (crash-truncated) last line.
 
-    A malformed line anywhere *but* the end means real corruption and
-    raises :class:`CheckpointError`.
+    Checksummed frames (:func:`encode_frame`) and legacy raw-JSON lines
+    are both accepted, per line.  A malformed line anywhere *but* the
+    end means real corruption and raises :class:`JournalCorruptError`
+    carrying the path, line number, and byte offset; callers that can
+    degrade (the allocation service, the grid runner) catch it and
+    quarantine via :func:`recover_jsonl` instead of crashing at startup.
     """
-    docs: List[Any] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().split("\n")
-    # A well-formed file ends with "\n", so the final split element is "".
-    while lines and lines[-1] == "":
-        lines.pop()
-    for i, line in enumerate(lines):
-        try:
-            docs.append(json.loads(line))
-        except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                break  # torn tail from a crash mid-append; WAL semantics
-            raise CheckpointError(
-                f"corrupt journal {path!r}: malformed line {i + 1} of {len(lines)}"
-            ) from None
+    docs, corrupt = _scan_jsonl(path)
+    if corrupt is not None:
+        raise corrupt
     return docs
+
+
+def _scan_jsonl(path: str) -> Tuple[List[Any], Optional[JournalCorruptError]]:
+    """Decode the longest valid prefix; returns ``(docs, error-or-None)``."""
+    docs: List[Any] = []
+    # Binary read: bit rot can produce bytes that are not valid UTF-8,
+    # which must surface as typed corruption, never UnicodeDecodeError.
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    lines = blob.split(b"\n")
+    # A well-formed file ends with "\n", so the final split element is "".
+    while lines and lines[-1] == b"":
+        lines.pop()
+    offset = 0
+    for i, raw in enumerate(lines):
+        try:
+            docs.append(_decode_journal_line(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            # A torn write can never complete its trailing newline, so
+            # an invalid final line is forgiven as crash debris ONLY
+            # when the file does not end with "\n".  A newline-
+            # terminated line was fully written once — if it no longer
+            # decodes, the storage layer changed it afterwards.
+            if i == len(lines) - 1 and not blob.endswith(b"\n"):
+                break  # torn tail from a crash mid-append; WAL semantics
+            return docs, JournalCorruptError(
+                path, i + 1, offset, f"{exc} ({len(lines)} lines total)"
+            )
+        offset += len(raw) + 1
+    return docs, None
+
+
+def recover_jsonl(
+    path: str, quarantine: bool = True
+) -> Tuple[List[Any], Optional[JournalRecovery]]:
+    """Best-effort journal read: longest valid prefix + recovery report.
+
+    A healthy journal (including one with only a torn tail) returns
+    ``(docs, None)`` and is left untouched.  For mid-stream corruption,
+    the decoded prefix is returned and — with ``quarantine=True``, the
+    default — the damaged file is moved into ``<path>.corrupt/`` so the
+    next writer starts clean and the evidence survives for post-mortem
+    (``repro-experiments fsck`` lists quarantine directories).
+    """
+    docs, corrupt = _scan_jsonl(path)
+    if corrupt is None:
+        return docs, None
+    quarantined_to = quarantine_file(path) if quarantine else None
+    return docs, JournalRecovery(
+        path=path,
+        line=corrupt.line,
+        offset=corrupt.offset,
+        reason=corrupt.reason,
+        docs_kept=len(docs),
+        quarantined_to=quarantined_to,
+    )
+
+
+def quarantine_file(path: str) -> str:
+    """Move ``path`` into a sibling ``<path>.corrupt/`` directory.
+
+    The original name is freed so a writer can start a clean file; the
+    damaged bytes are preserved under a serial number for post-mortem.
+    Returns the quarantine destination.
+    """
+    directory = path + ".corrupt"
+    os.makedirs(directory, exist_ok=True)
+    serial = len(os.listdir(directory)) + 1
+    dest = os.path.join(directory, f"{serial:04d}-{os.path.basename(path)}")
+    os.replace(path, dest)
+    return dest
+
+
+def repair_journal_tail(path: str) -> int:
+    """Truncate torn trailing debris in place; returns bytes dropped.
+
+    Reopening a journal for appends after a short or failed write must
+    not leave a half-record mid-file: the next append would weld new
+    frames onto the debris and turn harmless crash residue into
+    mid-stream corruption.  Only *trailing* invalid data is dropped;
+    invalid data followed by valid records is real corruption and
+    raises :class:`JournalCorruptError` (use :func:`recover_jsonl`).
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return 0
+    lines = blob.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    keep = 0
+    bad: Optional[Tuple[int, int, str]] = None  # (line, offset, reason)
+    offset = 0
+    for i, raw in enumerate(lines):
+        try:
+            _decode_journal_line(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if bad is None:
+                bad = (i + 1, offset, str(exc))
+        else:
+            if bad is not None:
+                raise JournalCorruptError(path, bad[0], bad[1], bad[2])
+            keep = offset + len(raw) + 1
+        offset += len(raw) + 1
+    if bad is not None and (bad[0] < len(lines) or blob.endswith(b"\n")):
+        # Torn debris is at most ONE final line with no trailing
+        # newline; anything else that fails to decode was fully
+        # written once and later changed — corruption, not debris.
+        raise JournalCorruptError(path, bad[0], bad[1], bad[2])
+    keep = min(keep, len(blob))
+    dropped = len(blob) - keep
+    if dropped:
+        with open(path, "rb+") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return dropped
 
 
 # ---------------------------------------------------------------------------
@@ -320,17 +605,35 @@ def _jsonify(obj: Any) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def save_checkpoint(path: str, kind: str, payload: Dict[str, Any]) -> None:
-    """Atomically write one versioned checkpoint document."""
-    write_json_atomic(
-        path,
+def save_checkpoint(path: str, kind: str, payload: Dict[str, Any]) -> str:
+    """Atomically write one versioned checkpoint document.
+
+    Returns the sha256 hex digest of the exact bytes written; the
+    generational snapshot chain records it in its CURRENT pointer so a
+    later reader can prove a snapshot file is byte-identical to what the
+    writer produced (see :func:`file_digest`).
+    """
+    text = json.dumps(
         {
             "magic": MAGIC,
             "version": FORMAT_VERSION,
             "kind": kind,
             "payload": payload,
         },
+        indent=None,
+        separators=(",", ":"),
     )
+    write_text_atomic(path, text)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def file_digest(path: str) -> str:
+    """sha256 hex digest of a file's bytes (snapshot-chain verification)."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
 
 
 def load_checkpoint(path: str, kind: Optional[str] = None) -> Tuple[str, Dict[str, Any]]:

@@ -77,10 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
             "convergence",
             "service-chaos",
             "serve",
+            "fsck",
+            "snapshot-export",
+            "snapshot-import",
             "all",
         ],
         help="which artifact to regenerate ('serve' runs the allocation "
-        "service daemon instead)",
+        "service daemon; 'fsck'/'snapshot-export'/'snapshot-import' are "
+        "offline storage tools for a service data dir)",
     )
     parser.add_argument("--tasks", type=int, default=1000, help="tasks per synthetic workflow")
     parser.add_argument("--workers", type=int, default=20, help="worker pool size")
@@ -248,6 +252,41 @@ def build_parser() -> argparse.ArgumentParser:
         "response verbatim (exactly-once across retries; 0 disables)",
     )
     service.add_argument(
+        "--snapshot-retention",
+        type=int,
+        default=3,
+        help="snapshot generations to keep on disk; older generations "
+        "and their archived WAL segments are pruned after each cut",
+    )
+    storage = parser.add_argument_group(
+        "storage tools", "fsck / snapshot-export / snapshot-import options"
+    )
+    storage.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="service data directory to audit (fsck), back up "
+        "(snapshot-export), or restore into (snapshot-import)",
+    )
+    storage.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fsck report as JSON instead of text",
+    )
+    storage.add_argument(
+        "--archive",
+        metavar="TARBALL",
+        default=None,
+        help="backup tarball path: written by snapshot-export, read by "
+        "snapshot-import",
+    )
+    storage.add_argument(
+        "--force",
+        action="store_true",
+        help="let snapshot-import overwrite a data dir that already "
+        "holds service files",
+    )
+    service.add_argument(
         "--chaos-crash",
         metavar="SITE[:HIT]",
         default=None,
@@ -324,6 +363,7 @@ def _serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         read_timeout=args.read_timeout,
         dedup_window=args.dedup_window,
+        snapshot_retention=args.snapshot_retention,
     )
     if args.chaos_crash is not None:
         # Crash-point test instrumentation: die mid-operation at the
@@ -335,10 +375,56 @@ def _serve(args: argparse.Namespace) -> int:
     )
 
 
+def _storage_tools(args: argparse.Namespace) -> int:
+    """Offline data-dir tooling: fsck / snapshot-export / snapshot-import."""
+    import json as _json
+
+    from repro.service.fsck import (
+        FSCK_FAILED,
+        export_backup,
+        import_backup,
+        render_report,
+        run_fsck,
+    )
+
+    if args.data_dir is None:
+        print(f"[repro] {args.experiment} requires --data-dir", file=sys.stderr)
+        return FSCK_FAILED
+    try:
+        if args.experiment == "fsck":
+            report = run_fsck(args.data_dir)
+            if args.json:
+                print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+            else:
+                print(render_report(report))
+            return report.exit_code
+        if args.archive is None:
+            print(f"[repro] {args.experiment} requires --archive", file=sys.stderr)
+            return FSCK_FAILED
+        if args.experiment == "snapshot-export":
+            manifest = export_backup(args.data_dir, args.archive)
+            print(
+                f"[repro] exported {len(manifest['files'])} file(s) from "
+                f"{args.data_dir} to {args.archive}"
+            )
+            return 0
+        manifest = import_backup(args.archive, args.data_dir, force=args.force)
+        print(
+            f"[repro] restored {len(manifest['files'])} file(s) from "
+            f"{args.archive} into {args.data_dir} (digests verified)"
+        )
+        return 0
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"[repro] {args.experiment} failed: {exc}", file=sys.stderr)
+        return FSCK_FAILED
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "serve":
         return _serve(args)
+    if args.experiment in ("fsck", "snapshot-export", "snapshot-import"):
+        return _storage_tools(args)
     config = _config(args)
     targets = (
         ["figure2", "figure3", "figure4", "figure5", "figure6", "table1"]

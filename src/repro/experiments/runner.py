@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -35,8 +36,9 @@ from repro.checkpoint import (
     SimulationCheckpointer,
     SimulationInterrupted,
     append_jsonl,
+    encode_frame,
     load_checkpoint,
-    read_jsonl,
+    recover_jsonl,
     state_digest,
     write_text_atomic,
 )
@@ -197,9 +199,24 @@ class _GridJournal:
         return os.path.exists(self.journal_path)
 
     def load_completed(self) -> Dict[Tuple[str, str], SimulationResult]:
-        """Validate the header and replay the journaled cell results."""
-        rows = read_jsonl(self.journal_path)
-        if not rows or rows[0].get("kind") != _JOURNAL_KIND:
+        """Validate the header and replay the journaled cell results.
+
+        A journal with mid-stream corruption (bit rot, a truncated
+        copy) is not fatal to resume: the damaged file is quarantined
+        into ``<journal>.corrupt/``, the valid prefix is kept, and the
+        cells whose records were lost simply recompute — the grid
+        digest in the header guarantees they recompute identically.
+        """
+        rows, recovery = recover_jsonl(self.journal_path)
+        if recovery is not None:
+            print(
+                f"[repro] grid journal corrupt at line {recovery.line} — "
+                f"kept {recovery.docs_kept} record(s), quarantined the "
+                f"damaged file to {recovery.quarantined_to}; lost cells "
+                "will recompute",
+                file=sys.stderr,
+            )
+        if not rows or not isinstance(rows[0], dict) or rows[0].get("kind") != _JOURNAL_KIND:
             raise CheckpointError(f"{self.journal_path!r} is not a grid journal")
         if rows[0].get("version") != _JOURNAL_VERSION:
             raise CheckpointError(
@@ -217,10 +234,11 @@ class _GridJournal:
             key = (row["workflow"], row["algorithm"])
             completed[key] = SimulationResult.from_state(row["result"])
         # Rewrite minus any torn tail, so future appends start on a
-        # clean line boundary.
+        # clean line boundary — upgrading legacy raw-JSON records to
+        # checksummed frames along the way.
         write_text_atomic(
             self.journal_path,
-            "".join(_one_line(row) for row in rows),
+            "".join(encode_frame(row) + "\n" for row in rows),
         )
         return completed
 

@@ -20,9 +20,15 @@ shape:
 * :mod:`repro.service.chaos` — the seeded fault layer:
   :class:`ChaosProxy` network-fault injection and the
   :data:`CRASH_POINTS` registry of named crash sites.
+* :mod:`repro.service.fsck` — offline storage audit
+  (:func:`run_fsck`) and digest-manifested backup round-trips
+  (:func:`export_backup` / :func:`import_backup`); the
+  ``repro-experiments fsck`` / ``snapshot-export`` /
+  ``snapshot-import`` subcommands.
 
 See ``docs/SERVICE.md`` for the architecture, the wire protocol, and
-the failure semantics.
+the failure semantics (including the storage-failure chapter:
+checksummed WAL frames, generational snapshots, degraded mode).
 """
 
 from repro.service.chaos import (
@@ -41,10 +47,22 @@ from repro.service.client import (
     ServiceUnavailable,
 )
 from repro.service.config import ServiceConfig
+from repro.service.fsck import (
+    FsckReport,
+    export_backup,
+    import_backup,
+    run_fsck,
+)
 from repro.service.protocol import ProtocolError
 from repro.service.server import AllocationServer, run_daemon
 from repro.service.service import AllocationService
-from repro.service.shards import AllocationShard, apply_op, shard_of, shard_seed
+from repro.service.shards import (
+    AllocationShard,
+    StorageUnavailable,
+    apply_op,
+    shard_of,
+    shard_seed,
+)
 
 __all__ = [
     "ServiceConfig",
@@ -61,6 +79,11 @@ __all__ = [
     "RetryPolicy",
     "ServiceError",
     "ServiceUnavailable",
+    "StorageUnavailable",
+    "FsckReport",
+    "run_fsck",
+    "export_backup",
+    "import_backup",
     "ChaosConfig",
     "ChaosProxy",
     "CrashPointFired",

@@ -76,6 +76,18 @@ class ServiceConfig:
         connection idle (or dribbling, slow-loris style) past the
         deadline mid-request gets a typed ``timeout`` error and is
         closed.
+    snapshot_retention:
+        Generations of the multi-shard snapshot (plus their archived WAL
+        segments) kept on disk.  Recovery walks the chain newest-first
+        and falls back past quarantined (corrupt) generations, so more
+        retention buys more at-rest-corruption tolerance at the cost of
+        disk.  ``1`` keeps only the latest (no fallback).
+    degraded_probe_interval:
+        While a shard is degraded (its WAL append failed with a storage
+        error), every Nth refused mutating batch probes the disk by
+        repairing the journal tail and reopening a fresh handle — the
+        auto-recovery path once the disk heals.  Counted in batches, not
+        wall-clock, so degraded behavior stays deterministic.
     """
 
     allocator: AllocatorConfig = field(default_factory=lambda: AllocatorConfig(seed=0))
@@ -89,6 +101,8 @@ class ServiceConfig:
     max_connections: int = 128
     max_inflight_requests: int = 1024
     read_timeout: Optional[float] = None
+    snapshot_retention: int = 3
+    degraded_probe_interval: int = 16
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -114,6 +128,15 @@ class ServiceConfig:
         if self.read_timeout is not None and self.read_timeout <= 0:
             raise ValueError(
                 f"read_timeout must be > 0 when given, got {self.read_timeout}"
+            )
+        if self.snapshot_retention < 1:
+            raise ValueError(
+                f"snapshot_retention must be >= 1, got {self.snapshot_retention}"
+            )
+        if self.degraded_probe_interval < 1:
+            raise ValueError(
+                "degraded_probe_interval must be >= 1, got "
+                f"{self.degraded_probe_interval}"
             )
 
     @property

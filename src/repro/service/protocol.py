@@ -33,6 +33,7 @@ __all__ = [
     "ERR_TIMEOUT",
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
+    "ERR_STORAGE",
     "ERR_INTERNAL",
     "RETRYABLE_CODES",
     "parse_line",
@@ -66,6 +67,7 @@ ERR_TOO_LARGE = "too_large"  # request line over MAX_LINE_BYTES; disconnected
 ERR_TIMEOUT = "timeout"  # per-connection read deadline expired; disconnected
 ERR_OVERLOADED = "overloaded"  # connection/in-flight bound hit; honor retry_after
 ERR_SHUTTING_DOWN = "shutting_down"  # daemon is draining; reconnect later
+ERR_STORAGE = "storage_unavailable"  # disk refusing writes; honor retry_after
 ERR_INTERNAL = "internal"  # unexpected server error; detail logged server-side
 
 ERROR_CODES = (
@@ -75,12 +77,15 @@ ERROR_CODES = (
     ERR_TIMEOUT,
     ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
+    ERR_STORAGE,
     ERR_INTERNAL,
 )
 
 #: Error codes a client may safely retry after (with backoff, and an
-#: idempotency key for mutating operations).
-RETRYABLE_CODES = (ERR_OVERLOADED, ERR_TIMEOUT, ERR_SHUTTING_DOWN)
+#: idempotency key for mutating operations).  ``storage_unavailable`` is
+#: retryable even *without* a key: the refused batch rolled back before
+#: anything was applied, so the retry is not ambiguous.
+RETRYABLE_CODES = (ERR_OVERLOADED, ERR_TIMEOUT, ERR_SHUTTING_DOWN, ERR_STORAGE)
 
 
 class ProtocolError(ValueError):

@@ -49,6 +49,7 @@ from repro.service.protocol import (
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
+    ERR_STORAGE,
     ERR_TIMEOUT,
     ERR_TOO_LARGE,
     MAX_LINE_BYTES,
@@ -60,6 +61,7 @@ from repro.service.protocol import (
     validate_request,
 )
 from repro.service.service import AllocationService
+from repro.service.shards import StorageUnavailable
 
 __all__ = ["AllocationServer", "run_daemon"]
 
@@ -284,6 +286,14 @@ class AllocationServer:
                 self._inflight -= 1
         except ProtocolError as exc:
             return error_response(request_id, exc.code, str(exc))
+        except StorageUnavailable as exc:
+            # Degraded mode: the disk is refusing writes.  The operation
+            # definitely did not apply (the shard rolled the batch
+            # back), so the client may retry verbatim after the hint —
+            # every refused batch also ticks the shard's recovery probe.
+            return error_response(
+                request_id, ERR_STORAGE, str(exc), retry_after=exc.retry_after
+            )
         except Exception:  # unexpected; keep the session alive
             # Never leak internal exception text to a remote client —
             # the detail goes to the server log only.

@@ -9,14 +9,22 @@ plus durability:
 * every applied operation is write-ahead logged to its shard's WAL
   (group commit per drained batch);
 * :meth:`snapshot` takes a *consistent cut*: every shard writer parks
-  at a quiesce barrier, the multi-shard envelope is written atomically
-  (``repro.checkpoint.save_checkpoint``, kind
-  :data:`~repro.checkpoint.SERVICE_KIND`), the WALs are truncated, and
-  the writers resume — no operation is ever split across the cut;
-* :meth:`start` recovers: restore the latest snapshot (if any), replay
-  each shard's WAL tail through the exact same
-  :func:`~repro.service.shards.apply_op` the live writer uses, then
-  re-snapshot so the recovered state is durable before traffic resumes.
+  at a quiesce barrier, a new **snapshot generation**
+  (``service.snapshot.<gen>.json``) is written atomically, the
+  digest-checked CURRENT pointer flips to it, the live WALs are
+  archived as that generation's replay segments, and the writers
+  resume — no operation is ever split across the cut;
+* :meth:`start` recovers: walk the CURRENT chain newest-first,
+  quarantine generations whose bytes no longer match their recorded
+  sha256 (or whose envelope is unreadable) and fall back to the next
+  one, then roll forward through the archived WAL segments and the
+  live WAL tail using the exact same
+  :func:`~repro.service.shards.apply_op` the live writer uses, and
+  finally re-snapshot so the recovered state is durable before traffic
+  resumes.  Mid-stream-corrupt journals are quarantined
+  (``<name>.corrupt/``) and their valid prefix replayed — never a
+  crash at startup, never silent divergence (a sequence gap is still
+  refused).
 
 Given the same operation stream, a killed-and-resumed service answers
 the remaining operations bit-identically to an uninterrupted run (the
@@ -26,15 +34,21 @@ kill/resume golden test asserts this byte-for-byte).
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import os
-from typing import Any, Dict, List, Optional, Sequence, Union
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.checkpoint import (
     SERVICE_KIND,
     CheckpointError,
+    file_digest,
     load_checkpoint,
-    read_jsonl,
+    quarantine_file,
+    recover_jsonl,
     save_checkpoint,
+    write_json_atomic,
 )
 from repro.core.allocator import TaskOrientedAllocator
 from repro.core.resources import Resource, ResourceVector
@@ -46,23 +60,69 @@ from repro.service.shards import (
     OP_RECORD,
     OP_RETRY,
     AllocationShard,
+    StorageUnavailable,
     shard_of,
 )
 
-__all__ = ["AllocationService", "SNAPSHOT_FILENAME"]
+__all__ = [
+    "AllocationService",
+    "SNAPSHOT_FILENAME",
+    "CURRENT_FILENAME",
+    "snapshot_filename",
+    "segment_filename",
+]
 
-#: The multi-shard snapshot envelope inside ``data_dir``.
+logger = logging.getLogger("repro.service")
+
+#: The legacy single-generation snapshot envelope; still restored (as
+#: generation 0 of the chain) so pre-generational data dirs upgrade in
+#: place.
 SNAPSHOT_FILENAME = "service.snapshot.json"
 
+#: The atomic chain pointer: newest-first ``{gen, digest}`` entries.
+CURRENT_FILENAME = "service.snapshot.CURRENT"
+
+#: Magic of the CURRENT pointer document.
+CURRENT_MAGIC = "repro-snapshot-current"
+
 # Crash sites around the snapshot write: "before" loses the cut (the
-# WALs still cover everything), "after" has the cut on disk but the
-# WALs not yet truncated (recovery's seq filter skips the overlap).
+# WALs still cover everything), "after" has the cut and pointer on disk
+# but the WALs not yet archived (recovery's seq filter skips overlap).
 SITE_SNAPSHOT_BEFORE = CRASH_POINTS.register("service.snapshot.before")
 SITE_SNAPSHOT_AFTER = CRASH_POINTS.register("service.snapshot.after")
+
+_GEN_RE = re.compile(r"^service\.snapshot\.(\d{6})\.json$")
+_SEGMENT_RE = re.compile(r"^shard-(\d+)\.wal\.g(\d{6})$")
 
 
 def _wal_filename(index: int) -> str:
     return f"shard-{index:02d}.wal"
+
+
+def snapshot_filename(gen: int) -> str:
+    """File name of snapshot generation ``gen`` (0 = the legacy name)."""
+    if gen == 0:
+        return SNAPSHOT_FILENAME
+    return f"service.snapshot.{gen:06d}.json"
+
+
+def segment_filename(index: int, gen: int) -> str:
+    """Archived WAL segment of shard ``index`` covering generation ``gen``."""
+    return f"shard-{index:02d}.wal.g{gen:06d}"
+
+
+def parse_generation(name: str) -> Optional[int]:
+    """Generation number of a snapshot file name, or ``None``."""
+    if name == SNAPSHOT_FILENAME:
+        return 0
+    match = _GEN_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def parse_segment(name: str) -> Optional[Tuple[int, int]]:
+    """``(shard_index, generation)`` of a segment file name, or ``None``."""
+    match = _SEGMENT_RE.match(name)
+    return (int(match.group(1)), int(match.group(2))) if match else None
 
 
 class AllocationService:
@@ -74,6 +134,15 @@ class AllocationService:
         self._started = False
         self._snapshot_lock: Optional[asyncio.Lock] = None
         self.recovered_ops = 0
+        #: Current snapshot generation (0: none written yet).
+        self.generation = 0
+        #: Per-shard ``seq`` at the last committed snapshot.
+        self.last_snapshot_seqs: List[int] = []
+        #: What recovery had to route around: one dict per quarantined
+        #: or skipped artifact (kind, path, reason, quarantined_to).
+        self.recovery_events: List[Dict[str, Any]] = []
+        #: Newest-first snapshot chain, mirrored from CURRENT.
+        self._chain: List[Dict[str, Any]] = []
 
     # -- properties ------------------------------------------------------------
 
@@ -119,6 +188,7 @@ class AllocationService:
                     backpressure=config.backpressure,
                     queue_high_watermark=config.queue_high_watermark,
                     dedup_window=config.dedup_window,
+                    probe_interval=config.degraded_probe_interval,
                 )
             )
 
@@ -145,70 +215,267 @@ class AllocationService:
             "base_seed": config.base_seed,
         }
 
-    def _snapshot_path(self) -> str:
+    def _gen_path(self, gen: int) -> str:
         assert self._config.data_dir is not None
-        return os.path.join(self._config.data_dir, SNAPSHOT_FILENAME)
+        return os.path.join(self._config.data_dir, snapshot_filename(gen))
+
+    def _note_recovery(
+        self, kind: str, path: str, reason: str, quarantined_to: Optional[str]
+    ) -> None:
+        self.recovery_events.append(
+            {
+                "kind": kind,
+                "path": path,
+                "reason": reason,
+                "quarantined_to": quarantined_to,
+            }
+        )
+        logger.warning("recovery: %s at %s (%s)", kind, path, reason)
+
+    def _load_chain(self) -> List[Dict[str, Any]]:
+        """The snapshot chain, newest-first: ``[{"gen", "digest"}, ...]``.
+
+        Normally read from the CURRENT pointer.  A damaged pointer is
+        quarantined and the chain rebuilt from the snapshot files on
+        disk — their digests can no longer be cross-checked, but the
+        envelope and fingerprint validation still stand.  A legacy
+        (pre-generational) ``service.snapshot.json`` joins the chain as
+        generation 0, so old data dirs upgrade in place.
+        """
+        data_dir = self._config.data_dir
+        assert data_dir is not None
+        current = os.path.join(data_dir, CURRENT_FILENAME)
+        entries: List[Dict[str, Any]] = []
+        if os.path.exists(current):
+            try:
+                with open(current, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+                if doc.get("magic") != CURRENT_MAGIC:
+                    raise ValueError(f"bad magic {doc.get('magic')!r}")
+                for row in doc["entries"]:
+                    entries.append(
+                        {"gen": int(row["gen"]), "digest": row.get("digest")}
+                    )
+            except (ValueError, KeyError, TypeError, OSError) as exc:
+                quarantined = quarantine_file(current)
+                self._note_recovery(
+                    "current-pointer", current, f"unreadable: {exc}", quarantined
+                )
+                entries = []
+        if not entries:
+            found = [
+                gen
+                for name in os.listdir(data_dir)
+                if (gen := parse_generation(name)) is not None and gen > 0
+            ]
+            entries = [{"gen": gen, "digest": None} for gen in sorted(found, reverse=True)]
+        if os.path.exists(os.path.join(data_dir, SNAPSHOT_FILENAME)) and not any(
+            entry["gen"] == 0 for entry in entries
+        ):
+            entries.append({"gen": 0, "digest": None})
+        return entries
+
+    def _load_generation(
+        self, entry: Dict[str, Any]
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Shard states of one chain entry, or ``None`` if quarantined.
+
+        Corruption — digest mismatch against the CURRENT pointer, or an
+        unreadable envelope — quarantines the file and returns ``None``
+        so recovery falls back to the next generation.  A *fingerprint*
+        mismatch is not corruption (the bytes verified): the operator
+        changed the configuration, and that is refused loudly.
+        """
+        path = self._gen_path(int(entry["gen"]))
+        if not os.path.exists(path):
+            self._note_recovery(
+                "snapshot-missing", path, "chain entry has no file", None
+            )
+            return None
+        digest = entry.get("digest")
+        if digest is not None and file_digest(path) != digest:
+            quarantined = quarantine_file(path)
+            self._note_recovery(
+                "snapshot-digest",
+                path,
+                "bytes do not match the digest recorded in CURRENT",
+                quarantined,
+            )
+            return None
+        try:
+            _, payload = load_checkpoint(path, kind=SERVICE_KIND)
+        except CheckpointError as exc:
+            quarantined = quarantine_file(path)
+            self._note_recovery("snapshot-envelope", path, str(exc), quarantined)
+            return None
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != self._fingerprint():
+            raise CheckpointError(
+                f"service snapshot {path!r} was written by a different "
+                f"configuration: snapshot {fingerprint!r} vs "
+                f"running {self._fingerprint()!r}"
+            )
+        states = payload.get("shards")
+        if not isinstance(states, list) or len(states) != len(self._shards):
+            raise CheckpointError(
+                f"snapshot {path!r} holds "
+                f"{len(states) if isinstance(states, list) else 'no'} shards; "
+                f"service runs {len(self._shards)}"
+            )
+        return states
+
+    def _replay_journal(self, shard: AllocationShard, path: str) -> int:
+        """Replay one journal tolerantly (quarantining mid-stream rot)."""
+        docs, recovery = recover_jsonl(path)
+        if recovery is not None:
+            self._note_recovery(
+                "journal-corrupt",
+                path,
+                f"{recovery.reason} (kept {recovery.docs_kept} records)",
+                recovery.quarantined_to,
+            )
+        return shard.replay(docs)
 
     def _recover(self) -> None:
-        """Restore snapshot + WAL tails, then make the recovery durable."""
-        path = self._snapshot_path()
-        if os.path.exists(path):
-            _, payload = load_checkpoint(path, kind=SERVICE_KIND)
-            fingerprint = payload.get("fingerprint")
-            if fingerprint != self._fingerprint():
-                raise CheckpointError(
-                    f"service snapshot {path!r} was written by a different "
-                    f"configuration: snapshot {fingerprint!r} vs "
-                    f"running {self._fingerprint()!r}"
-                )
-            states = payload["shards"]
-            if len(states) != len(self._shards):
-                raise CheckpointError(
-                    f"snapshot holds {len(states)} shards; service runs "
-                    f"{len(self._shards)}"
-                )
-            for shard, state in zip(self._shards, states):
-                shard.restore(state)
+        """Walk the generation chain, roll the WALs forward, re-snapshot.
+
+        Fallback order per generation: digest check (against CURRENT),
+        envelope check, fingerprint check.  The first two quarantine and
+        fall back; the chain running dry with entries present is
+        failure-stop (restore a backup via ``snapshot import``).  Roll-
+        forward then replays the archived WAL segments *newer* than the
+        restored generation (exactly the data a fallback needs) and the
+        live WAL tail; the per-shard seq filter absorbs overlap and a
+        seq gap is still refused — corruption never silently diverges.
+        """
+        data_dir = self._config.data_dir
+        assert data_dir is not None
+        self.recovery_events = []
+        chain = self._load_chain()
+        restored_gen: Optional[int] = None
+        for entry in chain:
+            states = self._load_generation(entry)
+            if states is not None:
+                for shard, state in zip(self._shards, states):
+                    shard.restore(state)
+                restored_gen = int(entry["gen"])
+                break
+        if chain and restored_gen is None:
+            raise CheckpointError(
+                f"no readable snapshot generation in {data_dir!r}: all "
+                f"{len(chain)} chain entries are corrupt or missing — "
+                "restore a backup (repro-experiments snapshot-import)"
+            )
+        self._chain = chain
+        self.generation = int(chain[0]["gen"]) if chain else 0
+        newer_gens = (
+            sorted(int(e["gen"]) for e in chain if int(e["gen"]) > restored_gen)
+            if restored_gen is not None
+            else []
+        )
         recovered = 0
         for shard in self._shards:
-            wal_path = os.path.join(
-                self._config.data_dir, _wal_filename(shard.index)
-            )
+            for gen in newer_gens:
+                segment = os.path.join(data_dir, segment_filename(shard.index, gen))
+                if os.path.exists(segment):
+                    recovered += self._replay_journal(shard, segment)
+            wal_path = os.path.join(data_dir, _wal_filename(shard.index))
             if os.path.exists(wal_path):
-                recovered += shard.replay(read_jsonl(wal_path))
+                recovered += self._replay_journal(shard, wal_path)
         self.recovered_ops = recovered
         # Make the recovered state durable *before* accepting traffic:
-        # snapshot covers snapshot+WAL-tail, then the WALs restart empty.
+        # one fresh generation covers everything just replayed, and the
+        # live WALs restart empty (archived under the new generation).
         self._write_snapshot()
-        for shard in self._shards:
-            shard.open_wal()
-            shard.truncate_wal()
 
     def _write_snapshot(self) -> str:
-        """Write the multi-shard envelope (callers ensure quiescence)."""
+        """Write one new snapshot generation (callers ensure quiescence).
+
+        Crash-safe ordering: (1) the generation file commits atomically;
+        (2) the CURRENT pointer flips atomically to the new chain;
+        (3) the live WALs are archived as this generation's segments;
+        (4) out-of-window generations and segments are pruned.  A crash
+        between any two steps recovers consistently — before (2) the old
+        chain plus the live WAL still cover everything; between (2) and
+        (3) the new generation covers the WAL and the seq filter skips
+        the overlap; between (3) and (4) there is only unpruned garbage.
+        """
+        data_dir = self._config.data_dir
+        assert data_dir is not None
         CRASH_POINTS.hit(SITE_SNAPSHOT_BEFORE)
-        path = self._snapshot_path()
-        save_checkpoint(
+        gen = self.generation + 1
+        path = self._gen_path(gen)
+        digest = save_checkpoint(
             path,
             SERVICE_KIND,
             {
                 "fingerprint": self._fingerprint(),
+                "generation": gen,
                 "shards": [shard.state() for shard in self._shards],
             },
         )
+        retention = self._config.snapshot_retention
+        entries = [{"gen": gen, "digest": digest}] + [
+            dict(entry) for entry in self._chain if int(entry["gen"]) < gen
+        ][: max(0, retention - 1)]
+        write_json_atomic(
+            os.path.join(data_dir, CURRENT_FILENAME),
+            {"magic": CURRENT_MAGIC, "version": 1, "entries": entries},
+        )
         CRASH_POINTS.hit(SITE_SNAPSHOT_AFTER)
+        self._chain = entries
+        self.generation = gen
+        self.last_snapshot_seqs = [shard.seq for shard in self._shards]
+        for shard in self._shards:
+            shard.archive_wal(
+                os.path.join(data_dir, segment_filename(shard.index, gen))
+            )
+        self._prune(data_dir)
         return path
 
+    def _prune(self, data_dir: str) -> None:
+        """Remove generations/segments the retained chain cannot reach.
+
+        A snapshot generation survives while it is in the chain; a WAL
+        segment survives while some retained generation older than it
+        might need it to roll forward (segment ``g`` holds the
+        operations between generations ``g-1`` and ``g``).
+        """
+        keep = {int(entry["gen"]) for entry in self._chain}
+        floor = min(keep)
+        for name in sorted(os.listdir(data_dir)):
+            target: Optional[str] = None
+            gen = parse_generation(name)
+            if gen is not None and gen not in keep and gen < self.generation:
+                target = name
+            segment = parse_segment(name)
+            if segment is not None and segment[1] <= floor:
+                target = name
+            if target is not None:
+                try:
+                    os.remove(os.path.join(data_dir, target))
+                except OSError:  # pragma: no cover - prune is best-effort
+                    pass
+
     async def stop(self, snapshot: bool = True) -> None:
-        """Drain every shard, optionally snapshot, release the WALs."""
+        """Drain every shard, optionally snapshot, release the WALs.
+
+        A storage failure during the final snapshot is logged and
+        swallowed: the WALs are left un-archived, so everything applied
+        is still covered for the next recovery — failing the shutdown
+        would lose more than it protects.
+        """
         if not self._started:
             return
         for shard in self._shards:
             await shard.stop()
         if self._config.data_dir is not None and snapshot:
-            self._write_snapshot()
-            for shard in self._shards:
-                shard.truncate_wal()
+            try:
+                self._write_snapshot()
+            except OSError as exc:
+                logger.warning(
+                    "final snapshot failed (%s); WALs retained for recovery", exc
+                )
         for shard in self._shards:
             shard.close_wal()
         self._started = False
@@ -230,9 +497,15 @@ class AllocationService:
             barriers = [shard.quiesce() for shard in self._shards]
             await asyncio.gather(*(b.parked.wait() for b in barriers))
             try:
-                path = self._write_snapshot()
-                for shard in self._shards:
-                    shard.truncate_wal()
+                try:
+                    path = self._write_snapshot()
+                except OSError as exc:
+                    # Typed refusal, no state lost: the previous chain
+                    # stays CURRENT and the live WALs keep covering
+                    # everything applied since it.
+                    raise StorageUnavailable(
+                        None, f"snapshot write failed: {exc}"
+                    ) from exc
             finally:
                 for barrier in barriers:
                     barrier.release.set()
@@ -357,12 +630,15 @@ class AllocationService:
         }
 
     def health(self) -> Dict[str, Any]:
-        """Liveness view for the wire ``health`` request.
+        """Liveness + storage-pressure view for the wire ``health`` request.
 
         ``ok`` is false once any shard writer died at a crash point (or
-        was aborted); the per-shard rows carry queue depth, breaker
-        state, dedup occupancy, and durability wiring so an operator
-        can see *why* before the daemon is bounced.
+        was aborted).  ``degraded`` is true while any shard's storage is
+        refusing writes — the service still answers reads and typed
+        refusals, so it is *not* folded into ``ok``.  The per-shard rows
+        carry queue depth, breaker state, dedup occupancy, WAL byte
+        sizes, and the last durable seq, so an operator can see storage
+        pressure before it becomes an outage.
         """
         shards = [shard.stats() for shard in self._shards]
         for shard, row in zip(self._shards, shards):
@@ -370,10 +646,15 @@ class AllocationService:
         return {
             "ok": self._started and not any(s["crashed"] for s in shards),
             "started": self._started,
+            "degraded": any(s["degraded"] for s in shards),
+            "generation": self.generation,
+            "last_snapshot_seq": list(self.last_snapshot_seqs),
             "durability": self._config.durability,
             "wal": self._config.data_dir is not None,
+            "wal_bytes": sum(s["wal_bytes"] for s in shards),
             "dedup_window": self._config.dedup_window,
             "recovered_ops": self.recovered_ops,
+            "recovery_events": len(self.recovery_events),
             "dedup_hits": sum(s["dedup_hits"] for s in shards),
             "shards": shards,
         }

@@ -30,11 +30,25 @@ one applied allocation and bit-identical responses.
 :mod:`repro.service.chaos` crash sites, so "what if we die here?" is a
 seeded test, not a thought experiment.  With nothing armed the hits are
 a single attribute check.
+
+**Degraded mode:** a storage error (``OSError`` — real or injected by
+:mod:`repro.faultfs`) during the WAL append does *not* kill the writer.
+The planned batch is rolled back (sequence numbers and breaker state
+restored — the WAL must stay gap-free), the poisoned handle is dropped
+without a retry-fsync (fsyncgate), and the shard turns read-only:
+mutating submissions fail fast with the typed
+:class:`StorageUnavailable` (the wire layer maps it to
+``storage_unavailable`` + ``retry_after``) until a periodic probe —
+every ``probe_interval``-th refused batch, a deterministic count, never
+wall-clock — manages to repair the journal tail and reopen a fresh
+handle, at which point the probing batch commits normally and the shard
+heals itself.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -42,7 +56,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.checkpoint import CheckpointError, JournalWriter
+from repro.checkpoint import (
+    CheckpointError,
+    JournalCorruptError,
+    JournalWriter,
+    quarantine_file,
+    repair_journal_tail,
+)
 from repro.core.allocator import TaskOrientedAllocator
 from repro.core.resources import RESOURCES, ResourceVector
 from repro.service.chaos import CRASH_POINTS, CrashPointFired
@@ -53,11 +73,41 @@ __all__ = [
     "OP_RETRY",
     "OP_RECORD",
     "MUTATING_OPS",
+    "DEGRADED_RETRY_AFTER_S",
+    "StorageUnavailable",
     "shard_of",
     "shard_seed",
     "apply_op",
     "AllocationShard",
 ]
+
+#: Suggested client backoff while a shard is degraded: long enough for a
+#: transient disk hiccup to clear, short enough that the count-based
+#: recovery probe gets exercised by a retrying client.
+DEGRADED_RETRY_AFTER_S = 0.25
+
+
+class StorageUnavailable(RuntimeError):
+    """The shard's storage is failing writes; mutating ops are refused.
+
+    The typed, *non-ambiguous* storage refusal: unlike a crash, the
+    operation was definitely **not** applied (the batch rolled back), so
+    any client may retry verbatim after ``retry_after`` — no idempotency
+    key required.  The wire layer maps this to the retryable
+    ``storage_unavailable`` error code.
+    """
+
+    def __init__(
+        self,
+        shard: Optional[int],
+        reason: str,
+        retry_after: float = DEGRADED_RETRY_AFTER_S,
+    ) -> None:
+        scope = "service" if shard is None else f"shard {shard}"
+        super().__init__(f"{scope} storage unavailable: {reason}")
+        self.shard = shard
+        self.reason = reason
+        self.retry_after = retry_after
 
 OP_ALLOCATE = "allocate"
 OP_RETRY = "allocate_retry"
@@ -175,7 +225,10 @@ class AllocationShard:
         backpressure: Optional[CircuitBreakerConfig] = None,
         queue_high_watermark: int = 1024,
         dedup_window: int = 0,
+        probe_interval: int = 16,
     ) -> None:
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be >= 1, got {probe_interval}")
         self.index = index
         self.allocator = allocator
         #: Applied-operation count; the shard's logical clock.
@@ -186,6 +239,16 @@ class AllocationShard:
         self.dedup_hits = 0
         #: Set when a crash point killed the writer (tests restart the service).
         self.crashed = False
+        #: Read-only: the WAL append failed and no probe has healed it yet.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: Storage errors absorbed by entering (or staying in) degraded mode.
+        self.storage_failures = 0
+        #: Highest seq known to be durably in the WAL (== ``seq`` while
+        #: healthy; frozen at the pre-failure value while degraded).
+        self.last_durable_seq = 0
+        self._probe_interval = probe_interval
+        self._probe_ticks = 0
         self._wal_path = wal_path
         self._durability = durability
         self._wal: Optional[JournalWriter] = None
@@ -332,8 +395,28 @@ class AllocationShard:
                 if not work.future.done():
                     work.future.set_exception(exc)
             raise
+        except StorageUnavailable as exc:
+            # Typed, non-fatal, non-ambiguous: the batch rolled back and
+            # was definitely not applied.  The writer loop survives so
+            # the shard keeps serving refusals (and recovery probes).
+            for work in batch:
+                if not work.future.done():
+                    work.future.set_exception(exc)
 
     def _commit_inner(self, batch: List[_Work]) -> None:
+        if self.degraded:
+            self._probe_ticks += 1
+            if self._probe_ticks % self._probe_interval != 0 or not self._probe_storage():
+                raise StorageUnavailable(
+                    self.index, self.degraded_reason or "storage write failed"
+                )
+        # Captured for rollback: a failed WAL append must leave no seq
+        # gap (replay would refuse the log) and no phantom breaker
+        # outcomes for operations that never happened.
+        seq_before = self.seq
+        breaker_before = (
+            self._breaker.state_dict() if self._breaker is not None else None
+        )
         # (work, op, seq, shed, key, dup): dup entries resolve from the
         # dedup window after the batch applies.
         planned: List[Tuple[_Work, Dict[str, Any], int, bool, Optional[str], bool]] = []
@@ -365,7 +448,14 @@ class AllocationShard:
         if entries:
             CRASH_POINTS.hit(SITE_WAL_APPEND_BEFORE)
             if self._wal is not None:
-                self._wal.append_many(entries)
+                try:
+                    self._wal.append_many(entries)
+                except OSError as exc:
+                    self._enter_degraded(exc, seq_before, breaker_before)
+                    raise StorageUnavailable(
+                        self.index, f"WAL append failed: {exc}"
+                    ) from exc
+                self.last_durable_seq = self.seq
             CRASH_POINTS.hit(SITE_WAL_APPEND_AFTER)
         results: Dict[int, List[Dict[str, Any]]] = {}
         errors: Dict[int, BaseException] = {}
@@ -424,6 +514,60 @@ class AllocationShard:
         while len(self._dedup) > self._dedup_window:
             self._dedup.popitem(last=False)
 
+    # -- degraded mode ---------------------------------------------------------
+
+    def _enter_degraded(
+        self,
+        exc: OSError,
+        seq_before: int,
+        breaker_before: Optional[Dict[str, Any]],
+    ) -> None:
+        """A WAL append failed: roll the batch back and turn read-only.
+
+        The handle is abandoned, never fsync-retried (fsyncgate: a
+        failed write/fsync may already have dropped the dirty pages, so
+        "retry on the same handle" would report durability for bytes
+        that are gone); the probe reopens a fresh one.
+        """
+        self.storage_failures += 1
+        self.degraded = True
+        self.degraded_reason = str(exc)
+        self.seq = seq_before
+        if self._breaker is not None and breaker_before is not None:
+            self._breaker.load_state(breaker_before)
+        self._probe_ticks = 0
+        if self._wal is not None:
+            self._wal.abandon()
+            self._wal = None
+
+    def _probe_storage(self) -> bool:
+        """Try to heal a degraded shard: repair the tail, reopen fresh.
+
+        A short write may have left half a frame at the end of the
+        journal; appending to it would weld the next record onto debris,
+        so the tail is truncated to the last complete valid frame before
+        a new :class:`~repro.checkpoint.JournalWriter` opens.  If the
+        repair finds *mid-stream* corruption (rot hit the live WAL while
+        we were degraded — a double fault), the journal is quarantined:
+        in-memory state is intact and the next snapshot restores full
+        durability; only a crash before that snapshot would lose the
+        quarantined suffix.
+        """
+        assert self._wal_path is not None
+        try:
+            try:
+                repair_journal_tail(self._wal_path)
+            except JournalCorruptError:
+                quarantine_file(self._wal_path)
+            self._wal = JournalWriter(self._wal_path, sync=self._durability)
+        except OSError as exc:
+            self.degraded_reason = f"recovery probe failed: {exc}"
+            self._wal = None
+            return False
+        self.degraded = False
+        self.degraded_reason = None
+        return True
+
     # -- durability ------------------------------------------------------------
 
     def state(self) -> Dict[str, Any]:
@@ -439,6 +583,7 @@ class AllocationShard:
 
     def restore(self, state: Dict[str, Any]) -> None:
         self.seq = int(state["seq"])
+        self.last_durable_seq = self.seq
         self.shed_count = int(state.get("shed_count", 0))
         self.allocator.load_state(state["allocator"])
         if self._breaker is not None and state.get("breaker") is not None:
@@ -481,11 +626,35 @@ class AllocationShard:
                 result["seq"] = seq
                 self._remember(key, result)
             applied += 1
+        self.last_durable_seq = self.seq
         return applied
 
     def truncate_wal(self) -> None:
         if self._wal is not None:
             self._wal.truncate()
+
+    def archive_wal(self, segment_path: str) -> bool:
+        """Move the live WAL aside as one generation's archived segment.
+
+        Called right after a covering snapshot committed (under the
+        quiesce barrier): instead of truncating — which would destroy
+        the only replay source an *older* snapshot generation needs for
+        fallback — the WAL is closed, renamed to ``segment_path``, and a
+        fresh empty WAL opens.  Returns whether a non-empty segment was
+        archived.  A degraded shard archives whatever the dying handle
+        left behind (torn tails are read-tolerated) and stays closed;
+        the recovery probe reopens it.
+        """
+        if self._wal_path is None:
+            return False
+        self.close_wal()
+        moved = False
+        if os.path.exists(self._wal_path) and os.path.getsize(self._wal_path) > 0:
+            os.replace(self._wal_path, segment_path)
+            moved = True
+        if not self.degraded:
+            self.open_wal()
+        return moved
 
     # -- introspection ---------------------------------------------------------
 
@@ -498,6 +667,14 @@ class AllocationShard:
             "failed_ops": self.failed_ops,
             "dedup_size": len(self._dedup),
             "dedup_hits": self.dedup_hits,
+            "degraded": self.degraded,
+            "last_durable_seq": self.last_durable_seq,
+            "storage_failures": self.storage_failures,
+            "wal_bytes": (
+                os.path.getsize(self._wal_path)
+                if self._wal_path is not None and os.path.exists(self._wal_path)
+                else 0
+            ),
             "categories": len(self.allocator.categories()),
             "records": sum(self.allocator.records_counts().values()),
             "breaker": (

@@ -1,0 +1,20 @@
+# reprolint test fixture: R9 raw-durable-write — minimal offenders.
+# Each write targets a WAL or snapshot path without going through
+# repro.checkpoint, bypassing CRC32 frames and fsync discipline.
+import json
+import os
+
+
+def append_wal_record(record):
+    with open("state/shard-00.wal", "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+def overwrite_snapshot(data_dir, payload):
+    with open(os.path.join(data_dir, "service.snapshot.json"), "w") as handle:
+        handle.write(json.dumps(payload))
+
+
+def rewrite_segment(data_dir, lines):
+    with open(f"{data_dir}/shard-01.wal.g000002", mode="w") as handle:
+        handle.writelines(lines)

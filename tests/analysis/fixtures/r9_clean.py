@@ -1,0 +1,18 @@
+# reprolint test fixture: R9 raw-durable-write — clean twin.
+# Durable storage goes through repro.checkpoint; reads stay raw-friendly.
+import os
+
+from repro.checkpoint import JournalWriter, read_jsonl, write_text_atomic
+
+
+def append_wal_record(record):
+    with JournalWriter("state/shard-00.wal", sync="op") as journal:
+        journal.append(record)
+
+
+def overwrite_snapshot(data_dir, text):
+    write_text_atomic(os.path.join(data_dir, "service.snapshot.json"), text)
+
+
+def load_segment(data_dir):
+    return read_jsonl(f"{data_dir}/shard-01.wal.g000002")

@@ -80,6 +80,11 @@ CASES = {
         [("repro/experiments/fixture.py", "r8_clean.py")],
         2,
     ),
+    "R9": (
+        [("repro/experiments/fixture.py", "r9_bad.py")],
+        [("repro/experiments/fixture.py", "r9_clean.py")],
+        3,
+    ),
 }
 
 
@@ -107,7 +112,7 @@ def test_every_registered_rule_has_a_fixture_case():
 
 def test_rule_catalog_metadata():
     rules = all_rules()
-    assert [r.id for r in rules] == [f"R{i}" for i in range(1, 9)]
+    assert [r.id for r in rules] == [f"R{i}" for i in range(1, 10)]
     for rule in rules:
         assert rule.name and rule.description
 

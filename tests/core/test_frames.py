@@ -1,0 +1,143 @@
+"""Property tests for the CRC32 journal frame codec.
+
+The frame layer is the bottom of the durability stack: every WAL
+record, archived segment, and grid-journal row rides inside one frame.
+These tests pin its three contracts:
+
+* round-trip — any JSON-safe document encodes to one line that decodes
+  back bit-identically (hypothesis-driven);
+* detection — flipping any single bit of any byte of a framed record
+  is detected (frames sit mid-journal so the torn-tail forgiveness
+  cannot mask the flip);
+* compatibility — journals written before frames existed (raw JSON
+  lines) still read, including files mixing both formats.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    FRAME_PREFIX,
+    JournalCorruptError,
+    append_jsonl,
+    decode_frame,
+    encode_frame,
+    read_jsonl,
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+json_docs = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@given(doc=json_docs)
+@settings(max_examples=200, deadline=None)
+def test_frame_round_trip(doc):
+    line = encode_frame(doc)
+    assert line.startswith(FRAME_PREFIX)
+    assert "\n" not in line
+    assert decode_frame(line) == json.loads(json.dumps(doc))
+
+
+@given(docs=st.lists(json_docs, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_journal_round_trip_through_file(tmp_path_factory, docs):
+    path = str(tmp_path_factory.mktemp("frames") / "journal.jsonl")
+    for doc in docs:
+        append_jsonl(path, doc)
+    assert read_jsonl(path) == [json.loads(json.dumps(d)) for d in docs]
+
+
+def test_single_bit_flip_detected_at_every_byte_position(tmp_path):
+    """Exhaustively flip one bit in every byte of a mid-journal frame."""
+    path = str(tmp_path / "journal.jsonl")
+    victim = {"seq": 7, "op": "allocate", "category": "render", "x": [1.5, 2.5]}
+    frame = (encode_frame(victim) + "\n").encode("utf-8")
+    prefix = (encode_frame({"seq": 6}) + "\n").encode("utf-8")
+    suffix = (encode_frame({"seq": 8}) + "\n").encode("utf-8")
+    baseline = prefix + frame + suffix
+    for byte_offset in range(len(frame)):
+        for bit in range(8):
+            corrupted = bytearray(baseline)
+            corrupted[len(prefix) + byte_offset] ^= 1 << bit
+            with open(path, "wb") as handle:
+                handle.write(bytes(corrupted))
+            with pytest.raises(JournalCorruptError):
+                read_jsonl(path)
+
+
+def test_bit_flip_in_final_complete_line_is_detected(tmp_path):
+    """A newline-terminated final line is covered — torn-tail forgiveness
+    only applies when the trailing newline itself never made it."""
+    path = str(tmp_path / "journal.jsonl")
+    append_jsonl(path, {"seq": 1})
+    append_jsonl(path, {"seq": 2})
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    # Flip one payload bit in the last frame (not the trailing newline).
+    blob[-10] ^= 0x04
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    with pytest.raises(JournalCorruptError):
+        read_jsonl(path)
+
+
+def test_legacy_raw_json_journal_still_reads(tmp_path):
+    path = str(tmp_path / "legacy.jsonl")
+    docs = [{"i": 0}, {"i": 1, "x": "y"}, ["nested", 3]]
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in docs:
+            handle.write(json.dumps(doc) + "\n")
+    assert read_jsonl(path) == docs
+
+
+def test_mixed_legacy_and_framed_journal_reads(tmp_path):
+    """Upgrades append frames onto raw-JSON journals; both decode."""
+    path = str(tmp_path / "mixed.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"i": 0}) + "\n")
+    append_jsonl(path, {"i": 1})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"i": 2}) + "\n")
+    append_jsonl(path, {"i": 3})
+    assert read_jsonl(path) == [{"i": 0}, {"i": 1}, {"i": 2}, {"i": 3}]
+
+
+def test_decode_frame_rejects_malformed_headers():
+    good = encode_frame({"a": 1})
+    for bad in (
+        "F2 " + good[3:],  # wrong version tag
+        "F1 notanumber deadbeef {}",  # length not an integer
+        "F1 3 deadbeef {}",  # length does not match payload
+        "F1 2 deadbeef {}",  # length matches, CRC does not
+        good[:-1],  # truncated payload
+        "F1 8 zzzzzzzz " + '{"a": 1}',  # non-hex crc
+        "F1 8",  # header only
+    ):
+        with pytest.raises(ValueError):
+            decode_frame(bad)
+
+
+def test_torn_tail_still_forgiven_without_newline(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    append_jsonl(path, {"seq": 1})
+    full = encode_frame({"seq": 2})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(full[: len(full) // 2])  # crash mid-append, no "\n"
+    assert read_jsonl(path) == [{"seq": 1}]

@@ -8,6 +8,7 @@ free.
 """
 
 import asyncio
+import json
 import os
 
 import pytest
@@ -380,9 +381,14 @@ def test_wal_files_and_snapshot_envelope(tmp_path):
         for i in range(10):
             await service.allocate(f"cat-{i}", i)
         path = await service.snapshot()
-        assert os.path.basename(path) == "service.snapshot.json"
-        from repro.checkpoint import SERVICE_KIND, load_checkpoint
+        # Generation 1 was the recovery snapshot at start(); this online
+        # cut is generation 2, and the CURRENT pointer tracks it.
+        assert os.path.basename(path) == "service.snapshot.000002.json"
+        current = json.loads((tmp_path / "data" / "service.snapshot.CURRENT").read_text())
+        assert current["entries"][0]["gen"] == 2
+        from repro.checkpoint import SERVICE_KIND, file_digest, load_checkpoint
 
+        assert current["entries"][0]["digest"] == file_digest(path)
         _, payload = load_checkpoint(path, kind=SERVICE_KIND)
         assert len(payload["shards"]) == config.n_shards
         assert payload["fingerprint"]["algorithm"] == "greedy_bucketing"
