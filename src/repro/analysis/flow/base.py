@@ -1,0 +1,114 @@
+"""Registry and base class for the reproflow interprocedural analyses.
+
+Flow analyses look like reprolint rules — id, kebab-case name,
+severity, description, pragma-aware findings — but they run once per
+*project* against a shared :class:`~repro.analysis.flow.graph.CallGraph`
+instead of once per module, so they live in their own registry and do
+not appear in :func:`repro.analysis.all_rules`.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.analysis.core import Finding, ModuleSource, Project, Severity
+from repro.analysis.flow.graph import CallGraph
+
+__all__ = [
+    "FlowAnalysis",
+    "all_flow_analyses",
+    "get_flow_analysis",
+    "register_flow_analysis",
+]
+
+
+class FlowAnalysis(abc.ABC):
+    """Base class for whole-program analyses (F1 ...).
+
+    Subclasses set the class attributes and yield :class:`Finding`
+    objects from :meth:`run`.  Analyses must be deterministic and
+    side-effect free: same project in, same findings out.  Pragma
+    suppression is applied by the flow runner, not here — ``run`` just
+    reports everything it sees.
+    """
+
+    #: Short stable identifier (``F1`` ...); used in pragmas and baselines.
+    id: str = ""
+    #: Human-readable kebab-case name, also accepted in pragmas.
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``--list-rules`` and the docs.
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, project: Project, graph: CallGraph) -> Iterable[Finding]:
+        """Yield findings for the whole project."""
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: Union[ast.AST, int],
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col,
+            rule=self.id,
+            name=self.name,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_FLOW_REGISTRY: Dict[str, FlowAnalysis] = {}
+
+
+def register_flow_analysis(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`FlowAnalysis`."""
+    if not issubclass(cls, FlowAnalysis):
+        raise TypeError(f"{cls!r} is not a FlowAnalysis subclass")
+    instance = cls()
+    if not instance.id or not instance.name:
+        raise ValueError(f"{cls.__name__} must define non-empty id and name")
+    for existing in _FLOW_REGISTRY.values():
+        if existing.id == instance.id or existing.name == instance.name:
+            raise ValueError(
+                f"duplicate flow analysis registration: {instance.id}/{instance.name} "
+                f"collides with {existing.id}/{existing.name}"
+            )
+    _FLOW_REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_flow_analyses() -> Tuple[FlowAnalysis, ...]:
+    """Every registered flow analysis, ordered by id (F1, F2, ...)."""
+    _ensure_builtin_analyses()
+    return tuple(sorted(_FLOW_REGISTRY.values(), key=lambda a: (len(a.id), a.id)))
+
+
+def get_flow_analysis(token: str) -> Optional[FlowAnalysis]:
+    """Look a flow analysis up by id or name (case-insensitive)."""
+    _ensure_builtin_analyses()
+    token = token.lower()
+    for analysis in _FLOW_REGISTRY.values():
+        if analysis.id.lower() == token or analysis.name.lower() == token:
+            return analysis
+    return None
+
+
+def _ensure_builtin_analyses() -> None:
+    """Import the analysis modules so their registration decorators run."""
+    from repro.analysis.flow import blocking as _f1  # noqa: F401
+    from repro.analysis.flow import drift as _f5  # noqa: F401
+    from repro.analysis.flow import errors as _f4  # noqa: F401
+    from repro.analysis.flow import ownership as _f2  # noqa: F401
+    from repro.analysis.flow import taint as _f3  # noqa: F401

@@ -1,0 +1,289 @@
+"""F4 ``untyped-escape``: storage faults must map to typed wire errors.
+
+The wire contract in ``SERVICE.md`` promises that storage trouble
+surfaces to clients as *typed* error responses (``storage_unavailable``
+with a ``retry_after`` hint), never as a dropped connection or a generic
+``internal`` error.  The promise is easy to break: a new call path from
+a server handler into :mod:`repro.checkpoint` can raise
+``CheckpointError``/``JournalCorruptError`` straight through the
+handler, and nothing in the local rules notices.
+
+F4 computes, for every function, the set of monitored exception *raise
+sites* that can escape it — propagating through internal call edges and
+absorbing at ``try``/``except`` blocks whose handler names the
+monitored class (or a monitored ancestor).  A broad ``except
+Exception``/bare ``except`` does **not** absorb: routing a storage
+fault through the generic internal-error path is exactly the drift this
+analysis exists to catch.  A handler whose body contains a bare
+``raise`` re-raises, so it does not absorb either.  Any monitored raise
+site that escapes a server *handler root* is flagged at the raise site.
+
+Handler roots are the connection callbacks: ``async def`` functions in
+``repro.service.server`` that are passed **by reference** as a call
+argument somewhere in that module (``asyncio.start_server(
+self._handle_connection, ...)``).  Lifecycle functions such as
+``run_daemon`` are deliberately not roots — a recovery failure at
+startup is fail-fast by design and never reaches a client connection.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleSource, Project
+from repro.analysis.flow.base import FlowAnalysis, register_flow_analysis
+from repro.analysis.flow.graph import CallGraph, FunctionInfo
+
+__all__ = ["UntypedEscapeAnalysis"]
+
+
+@dataclass(frozen=True, order=True)
+class _RaiseSite:
+    """One ``raise`` of a monitored exception class."""
+
+    exc: str
+    path: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class _Guard:
+    """One ``except`` clause an event is lexically inside."""
+
+    #: Resolved handler class qualnames (empty for a bare ``except``).
+    types: Tuple[str, ...]
+    #: Bare ``except:`` / ``except BaseException`` — catches at runtime
+    #: but is not a *typed* mapping.
+    catch_all: bool
+    #: Handler body contains a bare ``raise`` — the exception continues.
+    reraises: bool
+
+
+@register_flow_analysis
+class UntypedEscapeAnalysis(FlowAnalysis):
+    id = "F4"
+    name = "untyped-escape"
+    description = (
+        "StorageUnavailable/CheckpointError raise sites that escape "
+        "server handlers without a typed wire error mapping"
+    )
+
+    #: Exception classes whose escape into the transport breaks the
+    #: wire contract.
+    MONITORED = frozenset(
+        {
+            "repro.service.shards.StorageUnavailable",
+            "repro.checkpoint.CheckpointError",
+            "repro.checkpoint.JournalCorruptError",
+        }
+    )
+    #: Declared subclass -> parent, for handler matching.
+    HIERARCHY: Dict[str, str] = {
+        "repro.checkpoint.JournalCorruptError": "repro.checkpoint.CheckpointError",
+    }
+    #: Module whose parentless async functions are the handler roots.
+    SERVER_MODULE = "repro.service.server"
+
+    MAX_ROUNDS = 30
+
+    def run(self, project: Project, graph: CallGraph) -> Iterable[Finding]:
+        escapes = self._solve(graph)
+        modules: Dict[str, ModuleSource] = {m.path: m for m in project}
+        reported: Set[_RaiseSite] = set()
+        for root in self._handler_roots(graph):
+            for site in sorted(escapes.get(root, frozenset())):
+                if site in reported:
+                    continue
+                reported.add(site)
+                module = modules.get(site.path)
+                if module is None:  # pragma: no cover - sites come from project
+                    continue
+                short = site.exc.rsplit(".", 1)[-1]
+                yield self.finding(
+                    module,
+                    site.line,
+                    f"`{short}` raised here can escape server handler "
+                    f"`{root}` untyped; map it to a typed wire error "
+                    "(error_response with a stable code) before the "
+                    "transport sees it",
+                )
+
+    def _handler_roots(self, graph: CallGraph) -> List[str]:
+        """Async functions in the server module registered as callbacks.
+
+        A function reference passed as a call argument (not called) in
+        the server module marks a transport entry point — exceptions
+        escaping it hit the socket, not a caller.
+        """
+        prefix = self.SERVER_MODULE + "."
+        server_async = {
+            qualname: info
+            for qualname, info in graph.functions.items()
+            if info.is_async and qualname.startswith(prefix)
+        }
+        referenced: Set[str] = set()
+        for info in server_async.values():
+            assert info.module.tree is not None
+            for node in ast.walk(info.module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if isinstance(arg, ast.Attribute):
+                        referenced.add(arg.attr)
+                    elif isinstance(arg, ast.Name):
+                        referenced.add(arg.id)
+            break  # one walk of the server module covers every function
+        return sorted(
+            qualname
+            for qualname, info in server_async.items()
+            if info.name in referenced
+        )
+
+    # -- interprocedural escape summaries --------------------------------------
+
+    def _solve(self, graph: CallGraph) -> Dict[str, FrozenSet[_RaiseSite]]:
+        order = sorted(graph.functions)
+        summaries: Dict[str, FrozenSet[_RaiseSite]] = {q: frozenset() for q in order}
+        events = {q: self._events(graph, graph.functions[q]) for q in order}
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for qualname in order:
+                escaping: Set[_RaiseSite] = set()
+                for node, guards, payload in events[qualname]:
+                    if isinstance(payload, _RaiseSite):
+                        candidates: FrozenSet[_RaiseSite] = frozenset({payload})
+                    else:
+                        candidates = summaries.get(payload, frozenset())
+                    for site in candidates:
+                        if not self._absorbed(site.exc, guards):
+                            escaping.add(site)
+                frozen = frozenset(escaping)
+                if frozen != summaries[qualname]:
+                    summaries[qualname] = frozen
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _events(
+        self, graph: CallGraph, info: FunctionInfo
+    ) -> List[Tuple[ast.AST, Tuple[_Guard, ...], object]]:
+        """Raise/call events in ``info`` with their enclosing guards.
+
+        ``payload`` is a :class:`_RaiseSite` for raise statements and the
+        callee qualname (``str``) for internal call edges.
+        """
+        events: List[Tuple[ast.AST, Tuple[_Guard, ...], object]] = []
+
+        def visit(stmts: Sequence[ast.stmt], guards: Tuple[_Guard, ...]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested scope: its own summary covers it
+                if isinstance(stmt, ast.Raise):
+                    site = self._raise_site(graph, info, stmt)
+                    if site is not None:
+                        events.append((stmt, guards, site))
+                for call in self._calls_in_stmt(stmt):
+                    edge = graph.edge_for_call(info.qualname, call)
+                    if edge is not None and edge.internal:
+                        events.append((call, guards, edge.callee))
+                if isinstance(stmt, ast.Try):
+                    inner = guards + tuple(
+                        self._guard(graph, info.module, h) for h in stmt.handlers
+                    )
+                    # Only the try body is protected by the handlers;
+                    # handler bodies, else and finally propagate freely.
+                    visit(stmt.body, inner)
+                    for handler in stmt.handlers:
+                        visit(handler.body, guards)
+                    visit(stmt.orelse, guards)
+                    visit(stmt.finalbody, guards)
+                else:
+                    for block in self._blocks(stmt):
+                        visit(block, guards)
+
+        visit(list(info.node.body), ())
+        return events
+
+    @staticmethod
+    def _blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        cases = getattr(stmt, "cases", None)
+        if isinstance(cases, list):  # match statements
+            for case in cases:
+                body = getattr(case, "body", None)
+                if isinstance(body, list):
+                    yield body
+
+    @staticmethod
+    def _calls_in_stmt(stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Call nodes in the statement's own expressions (not sub-blocks)."""
+        own_exprs: List[ast.AST] = []
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.expr, ast.withitem)):
+                own_exprs.append(child)
+        stack: List[ast.AST] = list(own_exprs)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _raise_site(
+        self, graph: CallGraph, info: FunctionInfo, stmt: ast.Raise
+    ) -> Optional[_RaiseSite]:
+        exc = stmt.exc
+        if exc is None:
+            return None  # bare re-raise: handled via guard.reraises
+        target: ast.AST = exc.func if isinstance(exc, ast.Call) else exc
+        resolved = graph.resolve_in_module(info.module, target)
+        if resolved is None or resolved not in self.MONITORED:
+            return None
+        return _RaiseSite(
+            exc=resolved,
+            path=info.module.path,
+            line=stmt.lineno,
+            col=stmt.col_offset,
+        )
+
+    def _guard(
+        self, graph: CallGraph, module: ModuleSource, handler: ast.ExceptHandler
+    ) -> _Guard:
+        types: List[str] = []
+        catch_all = handler.type is None
+        handler_types: List[ast.expr] = []
+        if isinstance(handler.type, ast.Tuple):
+            handler_types = list(handler.type.elts)
+        elif handler.type is not None:
+            handler_types = [handler.type]
+        for expr in handler_types:
+            resolved = graph.resolve_in_module(module, expr)
+            if resolved is not None:
+                types.append(resolved)
+        reraises = any(
+            isinstance(node, ast.Raise) and node.exc is None
+            for node in ast.walk(handler)
+        )
+        return _Guard(types=tuple(types), catch_all=catch_all, reraises=reraises)
+
+    def _absorbed(self, exc: str, guards: Tuple[_Guard, ...]) -> bool:
+        """True when some enclosing handler gives ``exc`` a typed catch."""
+        lineage = {exc}
+        current = exc
+        while current in self.HIERARCHY:
+            current = self.HIERARCHY[current]
+            lineage.add(current)
+        for guard in guards:
+            if guard.reraises:
+                continue
+            if any(t in lineage for t in guard.types):
+                return True
+        return False

@@ -1,0 +1,194 @@
+"""F2 ``single-writer``: shard state mutates only under the writer task.
+
+Exactly-once allocation rests on a structural claim: the allocator, the
+applied-op sequence number, and the dedup window of an
+:class:`~repro.service.shards.AllocationShard` change *only* inside the
+single writer-drain task (``_writer_loop`` and what it alone calls) or
+the sanctioned recovery entry points (``restore``/``replay``/
+``apply_op``).  Any other path to a mutation is a data race with the
+writer — it would reorder the WAL against the applied state.
+
+F2 checks the claim on the call graph: it collects every mutation site
+of the protected state (attribute stores, mutating dict-method calls,
+mutating :class:`TaskOrientedAllocator` method calls inside the service
+package) and flags those whose enclosing function is reachable from an
+entry point *without* passing through a sanctioned function.
+Constructor bodies (``__init__``) are construction, not mutation, and
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.core import Finding, Project
+from repro.analysis.flow.base import FlowAnalysis, register_flow_analysis
+from repro.analysis.flow.graph import CallGraph, FunctionInfo
+
+__all__ = ["SingleWriterAnalysis"]
+
+
+@register_flow_analysis
+class SingleWriterAnalysis(FlowAnalysis):
+    id = "F2"
+    name = "single-writer"
+    description = (
+        "mutation of protected AllocationShard state reachable outside "
+        "the writer task and sanctioned recovery entry points"
+    )
+
+    #: The class whose state is single-writer by contract.
+    SHARD_CLASS = "repro.service.shards.AllocationShard"
+    #: ``self.<attr>`` stores on the shard that count as mutations.
+    PROTECTED_ATTRS = frozenset({"seq", "allocator", "_dedup"})
+    #: Mutating method calls on a protected container attribute.
+    MUTATING_CONTAINER_METHODS = frozenset(
+        {"pop", "popitem", "clear", "update", "setdefault", "move_to_end"}
+    )
+    #: The allocator class and its mutating methods; calls to these from
+    #: inside the service package are writer-only.
+    ALLOCATOR_CLASS = "repro.core.allocator.TaskOrientedAllocator"
+    ALLOCATOR_MUTATORS = frozenset(
+        {"allocate", "allocate_retry", "observe", "load_state", "reset"}
+    )
+    #: Package whose allocator calls the analysis polices.
+    SERVICE_PACKAGE = "repro/service"
+    #: Functions allowed to mutate (and to lead to mutations): the
+    #: writer-drain task and the recovery/replay entry points.
+    SANCTIONED = frozenset(
+        {
+            "repro.service.shards.AllocationShard._writer_loop",
+            "repro.service.shards.AllocationShard.restore",
+            "repro.service.shards.AllocationShard.replay",
+            "repro.service.shards.apply_op",
+        }
+    )
+
+    def run(self, project: Project, graph: CallGraph) -> Iterable[Finding]:
+        sites = self._mutation_sites(graph)
+        if not sites:
+            return
+        # Everything reachable from outside the sanctioned set: start at
+        # functions with no internal callers (the public surface) and
+        # never step into a sanctioned function.
+        entries = sorted(
+            qualname
+            for qualname in graph.functions
+            if qualname not in self.SANCTIONED and not graph.incoming(qualname)
+        )
+        exposed = graph.reachable(entries, blocked=self.SANCTIONED)
+        for info, node, description in sites:
+            if info.qualname in self.SANCTIONED or info.qualname not in exposed:
+                continue
+            yield self.finding(
+                info.module,
+                node,
+                f"{description} in `{info.qualname}` is reachable outside "
+                "the shard writer task (sanctioned entry points: "
+                f"{', '.join(sorted(q.rsplit('.', 1)[-1] for q in self.SANCTIONED))}); "
+                "route the mutation through the writer queue",
+            )
+
+    # -- mutation-site collection ----------------------------------------------
+
+    def _mutation_sites(
+        self, graph: CallGraph
+    ) -> List[Tuple[FunctionInfo, ast.AST, str]]:
+        sites: List[Tuple[FunctionInfo, ast.AST, str]] = []
+        shard = graph.classes.get(self.SHARD_CLASS)
+        shard_methods: Set[str] = set()
+        if shard is not None:
+            shard_methods = {
+                m.qualname for m in shard.methods.values() if m.name != "__init__"
+            }
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            if qualname in shard_methods:
+                sites.extend(self._self_mutations(info, graph))
+            if info.module.in_package(self.SERVICE_PACKAGE):
+                sites.extend(self._allocator_mutations(info, graph))
+        return sites
+
+    def _self_mutations(
+        self, info: FunctionInfo, graph: CallGraph
+    ) -> List[Tuple[FunctionInfo, ast.AST, str]]:
+        args = info.node.args
+        all_args = [*args.posonlyargs, *args.args]
+        if not all_args:
+            return []
+        self_name = all_args[0].arg
+        sites: List[Tuple[FunctionInfo, ast.AST, str]] = []
+
+        def is_protected(expr: ast.AST) -> bool:
+            return (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == self_name
+                and expr.attr in self.PROTECTED_ATTRS
+            )
+
+        for node in graph._own_body_walk(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if is_protected(target):
+                        sites.append(
+                            (info, node, f"store to protected `self.{target.attr}`")
+                        )
+                    elif isinstance(target, ast.Subscript) and is_protected(
+                        target.value
+                    ):
+                        assert isinstance(target.value, ast.Attribute)
+                        sites.append(
+                            (
+                                info,
+                                node,
+                                f"item store into protected `self.{target.value.attr}`",
+                            )
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and is_protected(target.value):
+                        assert isinstance(target.value, ast.Attribute)
+                        sites.append(
+                            (
+                                info,
+                                node,
+                                f"item delete from protected `self.{target.value.attr}`",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATING_CONTAINER_METHODS
+                    and is_protected(func.value)
+                ):
+                    assert isinstance(func.value, ast.Attribute)
+                    sites.append(
+                        (
+                            info,
+                            node,
+                            f"mutating `{func.attr}()` on protected "
+                            f"`self.{func.value.attr}`",
+                        )
+                    )
+        return sites
+
+    def _allocator_mutations(
+        self, info: FunctionInfo, graph: CallGraph
+    ) -> List[Tuple[FunctionInfo, ast.AST, str]]:
+        sites: List[Tuple[FunctionInfo, ast.AST, str]] = []
+        prefix = self.ALLOCATOR_CLASS + "."
+        for edge in graph.outgoing(info.qualname):
+            if not edge.callee.startswith(prefix):
+                continue
+            method = edge.callee[len(prefix) :]
+            if method in self.ALLOCATOR_MUTATORS:
+                sites.append(
+                    (info, edge.node, f"allocator mutation `{method}()`")
+                )
+        return sites

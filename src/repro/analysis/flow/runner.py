@@ -1,0 +1,123 @@
+"""Driver for the reproflow interprocedural analyses.
+
+Mirrors :mod:`repro.analysis.runner` one level up: build a
+:class:`Project`, build the shared :class:`CallGraph` once, run every
+registered :class:`FlowAnalysis` over it, honour inline
+``# reprolint: disable=F…`` pragmas, and report.  The CLI integration
+(``python -m repro.analysis --flow``) lives in the top-level runner;
+this module is the library surface the tests use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, ModuleSource, Project, Severity
+from repro.analysis.flow.base import FlowAnalysis, all_flow_analyses
+from repro.analysis.flow.graph import CallGraph
+
+__all__ = [
+    "DEFAULT_FLOW_BASELINE_NAME",
+    "FlowReport",
+    "analyze_flow_paths",
+    "analyze_flow_project",
+    "analyze_flow_sources",
+    "load_default_docs",
+]
+
+#: Committed baseline for flow findings (kept separate from the
+#: per-module reprolint baseline so the two lanes gate independently).
+DEFAULT_FLOW_BASELINE_NAME = "reproflow-baseline.json"
+
+#: Documents the flow runner feeds to doc-aware analyses (F5) when they
+#: exist relative to the working directory.
+DEFAULT_DOC_PATHS: Tuple[str, ...] = ("docs/SERVICE.md",)
+
+
+@dataclass
+class FlowReport:
+    """Outcome of one whole-program analysis run."""
+
+    #: Findings that survived pragma suppression, in stable order.
+    findings: List[Finding]
+    #: Per-analysis-id count of pragma-suppressed findings.
+    suppressed: Dict[str, int] = field(default_factory=dict)
+    #: The shared call graph (exposed for tests and tooling).
+    graph: Optional[CallGraph] = None
+
+
+def load_default_docs(root: str = ".") -> Dict[str, str]:
+    """Read the default doc set (missing files are simply absent)."""
+    docs: Dict[str, str] = {}
+    for rel in DEFAULT_DOC_PATHS:
+        full = os.path.join(root, rel)
+        if os.path.isfile(full):
+            with open(full, "r", encoding="utf-8") as handle:
+                docs[rel] = handle.read()
+    return docs
+
+
+def analyze_flow_project(
+    project: Project,
+    analyses: Optional[Iterable[FlowAnalysis]] = None,
+    docs: Optional[Dict[str, str]] = None,
+) -> FlowReport:
+    """Run flow analyses over ``project``, honouring inline pragmas."""
+    active = tuple(analyses) if analyses is not None else all_flow_analyses()
+    findings: List[Finding] = []
+    suppressed: Dict[str, int] = {analysis.id: 0 for analysis in active}
+    for module in project:
+        if module.parse_error is not None:
+            err = module.parse_error
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=err.lineno or 1,
+                    col=(err.offset or 1) - 1,
+                    rule="R0",
+                    name="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"could not parse: {err.msg}",
+                )
+            )
+    graph = CallGraph.build(project)
+    if docs:
+        graph.docs.update(docs)
+    by_path: Dict[str, ModuleSource] = {m.path: m for m in project}
+    for analysis in active:
+        for finding in analysis.run(project, graph):
+            module = by_path.get(finding.path)
+            if module is not None and module.suppressed(
+                finding.line, finding.rule, finding.name
+            ):
+                suppressed[analysis.id] += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return FlowReport(findings=findings, suppressed=suppressed, graph=graph)
+
+
+def analyze_flow_paths(
+    paths: Sequence[str],
+    analyses: Optional[Iterable[FlowAnalysis]] = None,
+    docs: Optional[Dict[str, str]] = None,
+) -> FlowReport:
+    """Walk files/directories and run the flow analyses over them."""
+    from repro.analysis.runner import collect_modules
+
+    project = collect_modules(paths)
+    if docs is None:
+        docs = load_default_docs()
+    return analyze_flow_project(project, analyses=analyses, docs=docs)
+
+
+def analyze_flow_sources(
+    sources: Sequence[Tuple[str, str]],
+    analyses: Optional[Iterable[FlowAnalysis]] = None,
+    docs: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """Analyze in-memory ``(virtual_path, text)`` pairs (test fixtures)."""
+    project = Project(ModuleSource(path=path, text=text) for path, text in sources)
+    return analyze_flow_project(project, analyses=analyses, docs=docs or {}).findings

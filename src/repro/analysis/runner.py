@@ -18,7 +18,8 @@ import argparse
 import json
 import os
 import sys
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -37,8 +38,10 @@ from repro.analysis.core import (
 )
 
 __all__ = [
+    "LintReport",
     "analyze_paths",
     "analyze_project",
+    "analyze_project_report",
     "analyze_sources",
     "build_parser",
     "collect_modules",
@@ -74,10 +77,22 @@ def collect_modules(paths: Sequence[str]) -> Project:
     return Project(modules)
 
 
-def analyze_project(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+@dataclass
+class LintReport:
+    """Findings that survived pragmas plus what the pragmas ate."""
+
+    findings: List[Finding]
+    #: rule id -> count of findings suppressed by inline pragmas.
+    suppressed: Dict[str, int] = field(default_factory=dict)
+
+
+def analyze_project_report(
+    project: Project, rules: Optional[Iterable[Rule]] = None
+) -> LintReport:
     """Run every rule over every module, honouring inline pragmas."""
     active = tuple(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
+    suppressed: Dict[str, int] = {rule.id: 0 for rule in active}
     for module in project:
         if module.parse_error is not None:
             err = module.parse_error
@@ -95,10 +110,17 @@ def analyze_project(project: Project, rules: Optional[Iterable[Rule]] = None) ->
             continue
         for rule in active:
             for finding in rule.check(module, project):
-                if not module.suppressed(finding.line, finding.rule, finding.name):
+                if module.suppressed(finding.line, finding.rule, finding.name):
+                    suppressed[finding.rule] = suppressed.get(finding.rule, 0) + 1
+                else:
                     findings.append(finding)
     findings.sort(key=Finding.sort_key)
-    return findings
+    return LintReport(findings=findings, suppressed=suppressed)
+
+
+def analyze_project(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Back-compat wrapper over :func:`analyze_project_report`."""
+    return analyze_project_report(project, rules=rules).findings
 
 
 def analyze_paths(paths: Sequence[str], rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
@@ -132,9 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--baseline",
         metavar="FILE",
-        default=DEFAULT_BASELINE_NAME,
-        help=f"baseline of adopted findings (default: {DEFAULT_BASELINE_NAME}; "
-        "a missing file means an empty baseline)",
+        default=None,
+        help=f"baseline of adopted findings (default: {DEFAULT_BASELINE_NAME}, "
+        "or reproflow-baseline.json with --flow; a missing file means an "
+        "empty baseline)",
     )
     parser.add_argument(
         "--write-baseline",
@@ -143,10 +166,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--rule",
+        "--select",
         action="append",
         metavar="RULE",
         default=None,
-        help="run only this rule id/name (repeatable)",
+        help="run only this rule/analysis id or name (repeatable; unknown "
+        "ids exit 2)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program reproflow analyses (F1..) instead of "
+        "the per-module rules",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="also write the findings as a SARIF 2.1.0 report to FILE",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable report")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
@@ -154,27 +191,71 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.flow.base import FlowAnalysis, all_flow_analyses, get_flow_analysis
+    from repro.analysis.flow.runner import DEFAULT_FLOW_BASELINE_NAME, analyze_flow_paths
+
     args = build_parser().parse_args(argv)
+    if args.baseline is None:
+        args.baseline = (
+            DEFAULT_FLOW_BASELINE_NAME if args.flow else DEFAULT_BASELINE_NAME
+        )
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.id:<4} {rule.name:<22} {rule.severity.value:<8} {rule.description}")
+        catalog = all_flow_analyses() if args.flow else all_rules()
+        for entry in catalog:
+            print(
+                f"{entry.id:<4} {entry.name:<22} {entry.severity.value:<8} "
+                f"{entry.description}"
+            )
         return 0
 
-    rules: Optional[List[Rule]] = None
-    if args.rule:
-        rules = []
-        for token in args.rule:
-            rule = get_rule(token)
-            if rule is None:
-                print(f"unknown rule: {token!r} (see --list-rules)", file=sys.stderr)
-                return 2
-            rules.append(rule)
+    tool_name = "reproflow" if args.flow else "reprolint"
+    suppressed: Dict[str, int] = {}
+    if args.flow:
+        analyses: Optional[List[FlowAnalysis]] = None
+        if args.rule:
+            analyses = []
+            for token in args.rule:
+                analysis = get_flow_analysis(token)
+                if analysis is None:
+                    print(
+                        f"unknown flow analysis: {token!r} (see --flow --list-rules)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                analyses.append(analysis)
+        try:
+            flow_report = analyze_flow_paths(args.paths, analyses=analyses)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        findings = flow_report.findings
+        suppressed = flow_report.suppressed
+        descriptions = {a.id: a.description for a in (analyses or all_flow_analyses())}
+    else:
+        rules: Optional[List[Rule]] = None
+        if args.rule:
+            rules = []
+            for token in args.rule:
+                rule = get_rule(token)
+                if rule is None:
+                    print(f"unknown rule: {token!r} (see --list-rules)", file=sys.stderr)
+                    return 2
+                rules.append(rule)
+        try:
+            report = analyze_project_report(collect_modules(args.paths), rules=rules)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        findings = report.findings
+        suppressed = report.suppressed
+        descriptions = {r.id: r.description for r in (rules or all_rules())}
 
-    try:
-        findings = analyze_paths(args.paths, rules=rules)
-    except FileNotFoundError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(
+            args.sarif, findings, tool_name=tool_name, rule_descriptions=descriptions
+        )
 
     if args.write_baseline:
         write_baseline(args.baseline, findings)
@@ -192,6 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "new": [f.to_dict() for f in diff.new],
                     "adopted": [f.to_dict() for f in diff.adopted],
                     "stale_baseline": diff.stale,
+                    "suppressed": suppressed,
                 },
                 indent=2,
                 sort_keys=True,
@@ -201,17 +283,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for finding in diff.new:
             print(finding.render())
         if diff.adopted:
-            print(f"[reprolint] {len(diff.adopted)} baseline-adopted finding(s) not shown")
+            print(f"[{tool_name}] {len(diff.adopted)} baseline-adopted finding(s) not shown")
         for fingerprint in diff.stale:
             print(
-                f"[reprolint] stale baseline entry (fixed? regenerate with "
+                f"[{tool_name}] stale baseline entry (fixed? regenerate with "
                 f"--write-baseline): {fingerprint}"
             )
         summary = (
-            f"[reprolint] {len(diff.new)} new finding(s) across "
+            f"[{tool_name}] {len(diff.new)} new finding(s) across "
             f"{len({f.path for f in diff.new})} file(s)"
             if diff.new
-            else "[reprolint] clean"
+            else f"[{tool_name}] clean"
         )
         print(summary)
 

@@ -352,6 +352,7 @@ class JournalWriter:
 
     SYNC_MODES = ("batch", "op", "none")
 
+    # reproflow: sync-boundary -- WAL open happens once per shard at startup/rotation, before traffic
     def __init__(self, path: str, sync: str = "batch") -> None:
         if sync not in self.SYNC_MODES:
             raise ValueError(f"sync must be one of {self.SYNC_MODES}, got {sync!r}")
@@ -365,6 +366,7 @@ class JournalWriter:
     def path(self) -> str:
         return self._path
 
+    # reproflow: sync-boundary -- the group commit is the service's deliberate durability stall (SERVICE.md "Durability")
     def append_many(self, docs: List[Any]) -> None:
         """Durably append ``docs`` in order with one group commit."""
         if not docs:
@@ -391,6 +393,7 @@ class JournalWriter:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    # reproflow: sync-boundary -- final flush+fsync runs during shutdown/rotation, after the drain
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.flush()
@@ -751,7 +754,7 @@ class SimulationCheckpointer:
 
     def __init__(
         self,
-        manager,
+        manager: Any,
         path: str,
         every_events: Optional[int] = None,
         every_seconds: Optional[float] = None,
@@ -920,7 +923,7 @@ class SimulationCheckpointer:
 
 
 def resume_simulation_checkpoint(
-    manager,
+    manager: Any,
     path: str,
     every_events: Optional[int] = None,
     every_seconds: Optional[float] = None,

@@ -42,7 +42,7 @@ import socket
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.resources import Resource, ResourceVector
 from repro.service.protocol import (
@@ -147,6 +147,7 @@ class _BaseClient:
         #: Stable prefix of generated idempotency keys.  Injectable so
         #: tests (and deterministic replays) control the key stream;
         #: defaults to a fresh UUID per client instance.
+        # reprolint: disable=F3  # client identity is wire metadata, injectable for deterministic replays
         self.client_id = client_id if client_id is not None else uuid.uuid4().hex
         self._rng = random.Random(self.retry.seed)
         self._next_id = 0
@@ -391,6 +392,26 @@ class ServiceClient(_BaseClient):
     def shutdown(self) -> bool:
         return bool(self.call({"op": "shutdown"}).get("shutting_down"))
 
+    def snapshot(self) -> str:
+        """Force a snapshot cut; returns the written envelope path."""
+        return str(self.call({"op": "snapshot"})["path"])
+
+    def allocate_batch(
+        self, requests: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Submit mutating sub-requests in one round trip.
+
+        Each entry is a mutating request document (``allocate`` /
+        ``allocate_retry`` / ``record``, no nesting); the server answers
+        with one response document per entry, in request order.
+        """
+        doc: Dict[str, Any] = {
+            "op": "allocate_batch",
+            "requests": [dict(sub) for sub in requests],
+        }
+        responses = self.call(doc)["responses"]
+        return list(responses) if isinstance(responses, list) else []
+
     def allocate(
         self, category: str, task_id: int, key: Optional[str] = None
     ) -> ResourceVector:
@@ -578,6 +599,26 @@ class AsyncServiceClient(_BaseClient):
 
     async def shutdown(self) -> bool:
         return bool((await self.call({"op": "shutdown"})).get("shutting_down"))
+
+    async def snapshot(self) -> str:
+        """Force a snapshot cut; returns the written envelope path."""
+        return str((await self.call({"op": "snapshot"}))["path"])
+
+    async def allocate_batch(
+        self, requests: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Submit mutating sub-requests in one round trip.
+
+        Each entry is a mutating request document (``allocate`` /
+        ``allocate_retry`` / ``record``, no nesting); the server answers
+        with one response document per entry, in request order.
+        """
+        doc: Dict[str, Any] = {
+            "op": "allocate_batch",
+            "requests": [dict(sub) for sub in requests],
+        }
+        responses = (await self.call(doc))["responses"]
+        return list(responses) if isinstance(responses, list) else []
 
     async def allocate(
         self, category: str, task_id: int, key: Optional[str] = None

@@ -336,6 +336,7 @@ class AllocationService:
             )
         return shard.replay(docs)
 
+    # reproflow: sync-boundary -- startup recovery runs before the server accepts connections
     def _recover(self) -> None:
         """Walk the generation chain, roll the WALs forward, re-snapshot.
 
@@ -388,6 +389,7 @@ class AllocationService:
         # live WALs restart empty (archived under the new generation).
         self._write_snapshot()
 
+    # reproflow: sync-boundary -- the snapshot cut runs under the quiesce barrier; blocking is the design
     def _write_snapshot(self) -> str:
         """Write one new snapshot generation (callers ensure quiescence).
 

@@ -540,6 +540,7 @@ class AllocationShard:
             self._wal.abandon()
             self._wal = None
 
+    # reproflow: sync-boundary -- degraded-mode healing probe; bounded repair I/O while storage is already stalled
     def _probe_storage(self) -> bool:
         """Try to heal a degraded shard: repair the tail, reopen fresh.
 

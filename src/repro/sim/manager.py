@@ -405,7 +405,7 @@ class WorkflowManager:
         if self._ran:
             raise RuntimeError("a WorkflowManager instance runs exactly once")
         self._ran = True
-        # reprolint: disable=R1  # feeds reporting-only wall_clock_seconds, never the sim
+        # reprolint: disable=R1,F3  # feeds reporting-only wall_clock_seconds, never the sim
         self._started_wall = _time.perf_counter()
         self._submit_more()
         self._engine.schedule(0.0, self._dispatch)
@@ -463,7 +463,7 @@ class WorkflowManager:
             n_evicted_attempts=self._ledger.n_evicted_attempts,
             workers_joined=self._pool.total_joined,
             workers_left=self._pool.total_left,
-            # reprolint: disable=R1  # reporting-only diagnostic, excluded from digests
+            # reprolint: disable=R1,F3  # reporting-only diagnostic, excluded from digests
             wall_clock_seconds=_time.perf_counter() - self._started_wall,
             fault_stats=self._faults.stats if self._faults is not None else FaultStats(),
             n_quarantined=self._quarantined,

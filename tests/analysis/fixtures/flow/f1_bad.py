@@ -1,0 +1,27 @@
+"""F1 bad fixture: async service code reaching blocking primitives."""
+import os
+import time
+
+
+async def handle_request(payload):
+    persist(payload)
+    time.sleep(0.01)
+    return True
+
+
+def persist(doc):
+    handle = open("/tmp/wal.log", "a")
+    handle.write(str(doc))
+    os.fsync(handle.fileno())
+    handle.close()
+
+
+# reproflow: sync-boundary -- deliberate choke point exercised by the clean path
+def sanctioned(doc):
+    handle = open("/tmp/wal.log", "a")
+    handle.write(str(doc))
+    handle.close()
+
+
+async def boundary_user(doc):
+    sanctioned(doc)

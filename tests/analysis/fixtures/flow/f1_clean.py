@@ -1,0 +1,27 @@
+"""F1 clean twin: blocking work confined to annotated sync boundaries."""
+import asyncio
+import os
+
+
+async def handle_request(payload):
+    await asyncio.to_thread(persist, payload)
+    await asyncio.sleep(0.01)
+    return True
+
+
+def persist(doc):
+    handle = open("/tmp/wal.log", "a")
+    handle.write(str(doc))
+    os.fsync(handle.fileno())
+    handle.close()
+
+
+# reproflow: sync-boundary -- deliberate group-commit choke point
+def sanctioned(doc):
+    handle = open("/tmp/wal.log", "a")
+    handle.write(str(doc))
+    handle.close()
+
+
+async def boundary_user(doc):
+    sanctioned(doc)

@@ -1,0 +1,15 @@
+"""Shared F2 fixture: stand-in allocator (virtual repro/core/allocator.py)."""
+
+
+class TaskOrientedAllocator:
+    def __init__(self):
+        self.records = {}
+
+    def observe(self, category, value):
+        self.records[category] = value
+
+    def load_state(self, state):
+        self.records = dict(state)
+
+    def state(self):
+        return dict(self.records)

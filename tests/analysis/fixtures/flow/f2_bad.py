@@ -1,0 +1,28 @@
+"""F2 bad fixture: shard state mutated outside the writer task."""
+from repro.core.allocator import TaskOrientedAllocator
+
+
+class AllocationShard:
+    def __init__(self):
+        self.seq = 0
+        self.allocator = TaskOrientedAllocator()
+        self._dedup = {}
+
+    async def _writer_loop(self):
+        self._commit({"op": "x"})
+
+    def _commit(self, op):
+        self.seq += 1
+        self._dedup["k"] = op
+
+    def sneaky_reset(self):
+        self.seq = 0
+        self._dedup.clear()
+        self.allocator.observe("c", 1.0)
+
+    def restore(self, state):
+        self.seq = state["seq"]
+
+
+def apply_op(shard, op):
+    shard.allocator.load_state(op)

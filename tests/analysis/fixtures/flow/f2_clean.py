@@ -1,0 +1,27 @@
+"""F2 clean twin: every mutation rides the writer task or recovery."""
+from repro.core.allocator import TaskOrientedAllocator
+
+
+class AllocationShard:
+    def __init__(self):
+        self.seq = 0
+        self.allocator = TaskOrientedAllocator()
+        self._dedup = {}
+
+    async def _writer_loop(self):
+        self._commit({"op": "x"})
+
+    def _commit(self, op):
+        self.seq += 1
+        self._dedup["k"] = op
+        self.allocator.observe("c", 1.0)
+
+    def stats(self):
+        return {"seq": self.seq, "dedup": len(self._dedup)}
+
+    def restore(self, state):
+        self.seq = state["seq"]
+
+
+def apply_op(shard, op):
+    shard.allocator.load_state(op)

@@ -1,0 +1,20 @@
+"""F3 bad fixture: clock/uuid values reaching durable lanes."""
+import time
+import uuid
+
+from repro.checkpoint import append_jsonl
+
+
+class Recorder:
+    def __init__(self):
+        self.token = uuid.uuid4().hex
+
+    def stamp(self):
+        return time.time()
+
+    def flush(self, path):
+        doc = {"token": self.token, "at": self.stamp()}
+        append_jsonl(path, doc)
+
+    def state_dict(self):
+        return {"seen": self.stamp()}

@@ -1,0 +1,25 @@
+"""F4 bad fixture: handler leaks monitored exceptions untyped."""
+import asyncio
+
+from repro.checkpoint import read_frame
+from repro.service.shards import AllocationShard, StorageUnavailable
+
+
+class Server:
+    def __init__(self):
+        self.shard = AllocationShard()
+
+    async def start(self):
+        return await asyncio.start_server(self._handle, "127.0.0.1", 0)
+
+    async def _handle(self, reader, writer):
+        line = read_frame(b"x")
+        try:
+            self.shard.commit(None)
+        except StorageUnavailable:
+            return None
+        try:
+            self.shard.commit({})
+        except Exception:
+            return None
+        return line

@@ -1,0 +1,15 @@
+"""Shared F4 fixture: monitored exceptions (virtual repro/checkpoint.py)."""
+
+
+class CheckpointError(RuntimeError):
+    pass
+
+
+class JournalCorruptError(CheckpointError):
+    pass
+
+
+def read_frame(line):
+    if not line:
+        raise JournalCorruptError("truncated frame")
+    return line

@@ -1,0 +1,28 @@
+"""F4 clean twin: every monitored exception gets a typed catch."""
+import asyncio
+
+from repro.checkpoint import CheckpointError, read_frame
+from repro.service.shards import AllocationShard, StorageUnavailable
+
+
+class Server:
+    def __init__(self):
+        self.shard = AllocationShard()
+
+    async def start(self):
+        return await asyncio.start_server(self._handle, "127.0.0.1", 0)
+
+    async def _handle(self, reader, writer):
+        try:
+            line = read_frame(b"x")
+        except CheckpointError:
+            return None
+        try:
+            self.shard.commit(None)
+        except StorageUnavailable:
+            return None
+        try:
+            self.shard.commit({})
+        except StorageUnavailable:
+            return None
+        return line

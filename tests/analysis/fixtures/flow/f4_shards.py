@@ -1,0 +1,12 @@
+"""Shared F4 fixture: storage fault source (virtual repro/service/shards.py)."""
+
+
+class StorageUnavailable(RuntimeError):
+    pass
+
+
+class AllocationShard:
+    def commit(self, doc):
+        if doc is None:
+            raise StorageUnavailable("degraded")
+        return doc

@@ -1,0 +1,21 @@
+"""F5 bad fixture: client SDK drifts from REQUEST_OPS."""
+
+
+class MiniClient:
+    def call(self, doc):
+        return doc
+
+    def allocate(self):
+        return self.call({"op": "allocate"})
+
+    def record(self):
+        return self.call({"op": "record"})
+
+    def ping(self):
+        return self.call({"op": "ping"})
+
+    def stats(self):
+        return self.call({"op": "stats"})
+
+    def destroy(self):
+        return self.call({"op": "destroy"})

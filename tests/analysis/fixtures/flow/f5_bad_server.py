@@ -1,0 +1,12 @@
+"""F5 bad fixture: server dispatch drifts from REQUEST_OPS."""
+
+
+async def dispatch(doc):
+    op = doc["op"]
+    if op == "ping":
+        return {"pong": True}
+    if op == "reboot":
+        return {}
+    if op == "allocate_batch":
+        return {}
+    return {}

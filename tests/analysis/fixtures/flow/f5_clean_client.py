@@ -1,0 +1,22 @@
+"""F5 clean twin client: one typed helper per wire op."""
+from repro.service.shards import OP_ALLOCATE, OP_RECORD
+
+
+class MiniClient:
+    def call(self, doc):
+        return doc
+
+    def allocate(self):
+        return self.call({"op": OP_ALLOCATE})
+
+    def record(self):
+        return self.call({"op": OP_RECORD})
+
+    def allocate_batch(self):
+        return self.call({"op": "allocate_batch"})
+
+    def ping(self):
+        return self.call({"op": "ping"})
+
+    def stats(self):
+        return self.call({"op": "stats"})

@@ -1,0 +1,12 @@
+"""F5 clean twin server: explicit branch for every admin/batch op."""
+
+
+async def dispatch(doc):
+    op = doc["op"]
+    if op == "ping":
+        return {"pong": True}
+    if op == "stats":
+        return {}
+    if op == "allocate_batch":
+        return {}
+    return {}

@@ -1,0 +1,6 @@
+"""Shared F5 fixture: authoritative op set (virtual repro/service/protocol.py)."""
+from repro.service.shards import MUTATING_OPS
+
+ADMIN_OPS = ("ping", "stats")
+
+REQUEST_OPS = MUTATING_OPS + ("allocate_batch",) + ADMIN_OPS

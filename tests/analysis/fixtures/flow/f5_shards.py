@@ -1,0 +1,6 @@
+"""Shared F5 fixture: op constants (virtual repro/service/shards.py)."""
+
+OP_ALLOCATE = "allocate"
+OP_RECORD = "record"
+
+MUTATING_OPS = (OP_ALLOCATE, OP_RECORD)

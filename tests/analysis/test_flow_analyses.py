@@ -1,0 +1,194 @@
+"""Golden bad-fixture/clean-twin tests for the reproflow analyses.
+
+Mirrors ``test_rules.py`` one level up: every interprocedural analysis
+(F1..F5) must fire on its seeded-bug fixture with an exact finding
+count and stay silent on the clean twin.  Fixtures live under
+``tests/analysis/fixtures/flow/`` and are analyzed with *virtual*
+``repro/...`` paths so the scoped analyses (async roots in
+``repro/service``, the shard/allocator qualnames, the protocol module)
+see them as in-scope repo files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import ModuleSource, Project
+from repro.analysis.flow.base import all_flow_analyses, get_flow_analysis
+from repro.analysis.flow.runner import analyze_flow_project, analyze_flow_sources
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+pytestmark = pytest.mark.analysis
+
+DOC_PATH = "docs/SERVICE.md"
+
+#: Every op in the F5 fixture protocol (f5_protocol.py REQUEST_OPS).
+ALL_OPS = ("allocate", "record", "allocate_batch", "ping", "stats")
+
+
+def _read(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def _sources(pairs):
+    return [(path, _read(name)) for path, name in pairs]
+
+
+def _doc_table(ops) -> str:
+    rows = "".join(f"| `{op}` | does {op} |\n" for op in ops)
+    return (
+        "# Allocation service\n\n## Wire protocol\n\n"
+        "| op | meaning |\n| --- | --- |\n" + rows + "\n## Other section\n"
+    )
+
+
+_F5_SHARED = [
+    ("repro/service/shards.py", "f5_shards.py"),
+    ("repro/service/protocol.py", "f5_protocol.py"),
+]
+_F4_SHARED = [
+    ("repro/checkpoint.py", "f4_checkpoint.py"),
+    ("repro/service/shards.py", "f4_shards.py"),
+]
+
+#: analysis id -> (bad sources, clean sources, expected bad count,
+#:                 bad docs, clean docs).  Sources are
+#: (virtual_path, fixture_file); docs feed F5's SERVICE.md check.
+CASES = {
+    "F1": (
+        [("repro/service/fixture.py", "f1_bad.py")],
+        [("repro/service/fixture.py", "f1_clean.py")],
+        4,
+        None,
+        None,
+    ),
+    "F2": (
+        [
+            ("repro/core/allocator.py", "f2_allocator.py"),
+            ("repro/service/shards.py", "f2_bad.py"),
+        ],
+        [
+            ("repro/core/allocator.py", "f2_allocator.py"),
+            ("repro/service/shards.py", "f2_clean.py"),
+        ],
+        3,
+        None,
+        None,
+    ),
+    "F3": (
+        [("repro/sim/recorder.py", "f3_bad.py")],
+        [("repro/sim/recorder.py", "f3_clean.py")],
+        3,
+        None,
+        None,
+    ),
+    "F4": (
+        _F4_SHARED + [("repro/service/server.py", "f4_bad_server.py")],
+        _F4_SHARED + [("repro/service/server.py", "f4_clean_server.py")],
+        2,
+        None,
+        None,
+    ),
+    "F5": (
+        _F5_SHARED
+        + [
+            ("repro/service/server.py", "f5_bad_server.py"),
+            ("repro/service/client.py", "f5_bad_client.py"),
+        ],
+        _F5_SHARED
+        + [
+            ("repro/service/server.py", "f5_clean_server.py"),
+            ("repro/service/client.py", "f5_clean_client.py"),
+        ],
+        6,
+        _doc_table(("allocate", "record", "ping", "stats", "teleport")),
+        _doc_table(ALL_OPS),
+    ),
+}
+
+
+@pytest.mark.parametrize("analysis_id", sorted(CASES))
+def test_analysis_fires_on_bad_fixture(analysis_id):
+    bad, _clean, expected_count, bad_doc, _clean_doc = CASES[analysis_id]
+    docs = {DOC_PATH: bad_doc} if bad_doc is not None else None
+    findings = analyze_flow_sources(_sources(bad), docs=docs)
+    fired = [f for f in findings if f.rule == analysis_id]
+    assert fired, f"{analysis_id} did not fire on its bad fixture"
+    assert len(fired) == expected_count, [f.render() for f in fired]
+    for finding in fired:
+        assert finding.line > 0 and finding.message
+
+
+@pytest.mark.parametrize("analysis_id", sorted(CASES))
+def test_analysis_silent_on_clean_twin(analysis_id):
+    _bad, clean, _count, _bad_doc, clean_doc = CASES[analysis_id]
+    docs = {DOC_PATH: clean_doc} if clean_doc is not None else None
+    findings = analyze_flow_sources(_sources(clean), docs=docs)
+    assert not findings, [f.render() for f in findings]
+
+
+def test_every_registered_analysis_has_a_fixture_case():
+    assert {a.id for a in all_flow_analyses()} == set(CASES)
+
+
+def test_analysis_catalog_metadata():
+    analyses = all_flow_analyses()
+    assert [a.id for a in analyses] == [f"F{i}" for i in range(1, 6)]
+    for analysis in analyses:
+        assert analysis.name and analysis.description
+
+
+def test_lookup_by_id_and_name_is_case_insensitive():
+    assert get_flow_analysis("f3") is get_flow_analysis("Taint-Lane")
+    assert get_flow_analysis("F9") is None
+    assert get_flow_analysis("no-such-analysis") is None
+
+
+# -- pragma integration ----------------------------------------------------------------
+
+ASYNC_OFFENDER = "import time\n\n\nasync def tick():\n    time.sleep(1)\n"
+
+
+def _flow_report(text: str):
+    project = Project([ModuleSource(path="repro/service/mod.py", text=text)])
+    return analyze_flow_project(project)
+
+
+def test_flow_finding_without_pragma_survives():
+    report = _flow_report(ASYNC_OFFENDER)
+    assert [f.rule for f in report.findings] == ["F1"]
+    assert report.suppressed["F1"] == 0
+
+
+def test_flow_pragma_suppresses_and_is_counted():
+    suppressed = ASYNC_OFFENDER.replace(
+        "time.sleep(1)",
+        "time.sleep(1)  # reprolint: disable=F1  # fixture exemption",
+    )
+    report = _flow_report(suppressed)
+    assert not report.findings
+    assert report.suppressed["F1"] == 1
+
+
+def test_flow_pragma_accepts_analysis_name():
+    by_name = ASYNC_OFFENDER.replace(
+        "time.sleep(1)", "time.sleep(1)  # reprolint: disable=loop-blocking"
+    )
+    report = _flow_report(by_name)
+    assert not report.findings and report.suppressed["F1"] == 1
+
+
+def test_flow_parse_error_reported_as_r0():
+    findings = analyze_flow_sources([("repro/service/broken.py", "async def (:\n")])
+    assert [f.rule for f in findings] == ["R0"]
+
+
+def test_selecting_a_single_analysis_limits_findings():
+    bad, _clean, _count, _bad_doc, _clean_doc = CASES["F1"]
+    only_f2 = analyze_flow_sources(
+        _sources(bad), analyses=[get_flow_analysis("F2")]
+    )
+    assert not [f for f in only_f2 if f.rule == "F1"]

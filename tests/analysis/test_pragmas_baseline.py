@@ -138,6 +138,35 @@ def test_corrupt_baseline_is_rejected(tmp_path):
         load_baseline(str(path))
 
 
+def test_entry_for_deleted_file_goes_stale(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    ghost = _finding(path="repro/sim/deleted.py", line=10)
+    write_baseline(path, [ghost])
+    diff = diff_against_baseline([], load_baseline(path))
+    assert diff.stale == [ghost.fingerprint]
+    assert not diff.new and not diff.adopted
+
+
+def test_duplicate_baseline_entries_collapse(tmp_path):
+    path = tmp_path / "baseline.json"
+    entry = {"path": "repro/sim/mod.py", "rule": "R1", "line": 3, "message": "x"}
+    path.write_text(json.dumps({"version": 1, "findings": [entry, dict(entry)]}))
+    baseline = load_baseline(str(path))
+    assert len(baseline.fingerprints) == 1
+    diff = diff_against_baseline([_finding(line=3)], baseline)
+    assert not diff.new and not diff.stale and len(diff.adopted) == 1
+
+
+def test_moved_finding_is_new_and_old_entry_stale(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, [_finding(line=3)])
+    moved = _finding(line=4)  # same file/rule, shifted one line
+    diff = diff_against_baseline([moved], load_baseline(path))
+    assert [f.line for f in diff.new] == [4]
+    assert diff.stale == [_finding(line=3).fingerprint]
+    assert not diff.adopted
+
+
 # -- CLI -------------------------------------------------------------------------------
 
 
@@ -194,3 +223,27 @@ def test_cli_single_rule_selection(tmp_path):
     assert result.returncode == 0  # R1 offender invisible to an R4-only run
     unknown = _run_cli(["src", "--rule", "nope"], cwd=tmp_path)
     assert unknown.returncode == 2
+
+
+def test_cli_select_is_an_alias_of_rule(tmp_path):
+    offender = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    offender.parent.mkdir(parents=True)
+    offender.write_text(OFFENDER)
+    selected = _run_cli(["src", "--select", "R1"], cwd=tmp_path)
+    assert selected.returncode == 1
+    assert "R1[wall-clock]" in selected.stdout
+    unknown = _run_cli(["src", "--select", "R99"], cwd=tmp_path)
+    assert unknown.returncode == 2
+    assert "unknown rule" in unknown.stderr
+
+
+def test_cli_json_reports_pragma_suppressed_counts(tmp_path):
+    offender = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    offender.parent.mkdir(parents=True)
+    offender.write_text(SUPPRESSED + "LATER = t.time()\n")
+    result = _run_cli(["src", "--json"], cwd=tmp_path)
+    assert result.returncode == 1  # the unsuppressed LATER read still gates
+    doc = json.loads(result.stdout)
+    assert doc["suppressed"]["R1"] == 1
+    assert all(count == 0 for rule, count in doc["suppressed"].items() if rule != "R1")
+    assert [f["rule"] for f in doc["new"]] == ["R1"]

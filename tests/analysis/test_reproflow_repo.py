@@ -1,0 +1,128 @@
+"""Tier-1 gate: the reproflow lane over the real ``src/`` tree stays clean.
+
+Companion to ``test_reprolint_repo.py`` for the whole-program analyses:
+any unbaselined interprocedural finding — blocking I/O newly reachable
+from the event loop, a shard mutation outside the writer task, clock
+taint reaching the WAL, an untyped escape to a handler, wire-protocol
+drift — fails the default test run.  The committed flow baseline is
+expected to be (and stay) empty.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import diff_against_baseline, load_baseline
+from repro.analysis.flow.base import all_flow_analyses
+from repro.analysis.flow.runner import (
+    DEFAULT_FLOW_BASELINE_NAME,
+    analyze_flow_paths,
+    load_default_docs,
+)
+from repro.analysis.sarif import validate_sarif
+
+pytestmark = pytest.mark.analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / DEFAULT_FLOW_BASELINE_NAME
+
+
+def _repo_report():
+    return analyze_flow_paths(
+        [str(SRC)], docs=load_default_docs(str(REPO_ROOT))
+    )
+
+
+def test_src_tree_is_reproflow_clean():
+    report = _repo_report()
+    diff = diff_against_baseline(report.findings, load_baseline(str(BASELINE)))
+    assert not diff.new, "new reproflow findings:\n" + "\n".join(
+        f.render() for f in diff.new
+    )
+
+
+def test_committed_flow_baseline_is_empty():
+    baseline = load_baseline(str(BASELINE))
+    assert baseline.fingerprints == frozenset(), (
+        "the flow baseline must stay empty — fix the violation or add an "
+        "inline pragma / sync-boundary with a reason; entries: "
+        f"{sorted(baseline.fingerprints)}"
+    )
+
+
+def test_repo_docs_are_fed_to_the_doc_aware_analyses():
+    docs = load_default_docs(str(REPO_ROOT))
+    assert "docs/SERVICE.md" in docs
+    assert "## Wire protocol" in docs["docs/SERVICE.md"]
+
+
+def test_suppression_counters_cover_every_analysis():
+    report = _repo_report()
+    assert set(report.suppressed) == {a.id for a in all_flow_analyses()}
+    # The deliberate exemptions (client identity, perf-counter metrics)
+    # are pragma-suppressed, not silently invisible.
+    assert report.suppressed["F3"] >= 1
+
+
+# -- CLI -------------------------------------------------------------------------------
+
+
+def _run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+            "PYTHONHASHSEED": "0",
+        },
+    )
+
+
+def test_cli_flow_lane_is_clean_and_emits_valid_sarif(tmp_path):
+    sarif_path = tmp_path / "reproflow.sarif"
+    result = _run_cli(
+        ["src", "--flow", "--sarif", str(sarif_path)], cwd=REPO_ROOT
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "[reproflow] clean" in result.stdout
+    document = json.loads(sarif_path.read_text())
+    assert validate_sarif(document) == []
+    assert document["runs"][0]["tool"]["driver"]["name"] == "reproflow"
+
+
+def test_cli_flow_list_rules_prints_the_catalog():
+    result = _run_cli(["--flow", "--list-rules"], cwd=REPO_ROOT)
+    assert result.returncode == 0
+    for analysis in all_flow_analyses():
+        assert analysis.id in result.stdout
+        assert analysis.name in result.stdout
+
+
+def test_cli_flow_select_unknown_analysis_exits_2(tmp_path):
+    tree = tmp_path / "src" / "repro" / "service"
+    tree.mkdir(parents=True)
+    (tree / "mod.py").write_text("async def noop():\n    return None\n")
+    unknown = _run_cli(["src", "--flow", "--select", "F9"], cwd=tmp_path)
+    assert unknown.returncode == 2
+    assert "unknown flow analysis" in unknown.stderr
+
+
+def test_cli_flow_select_filters_analyses(tmp_path):
+    tree = tmp_path / "src" / "repro" / "service"
+    tree.mkdir(parents=True)
+    (tree / "mod.py").write_text(
+        "import time\n\n\nasync def tick():\n    time.sleep(1)\n"
+    )
+    full = _run_cli(["src", "--flow"], cwd=tmp_path)
+    assert full.returncode == 1 and "F1[loop-blocking]" in full.stdout
+    narrowed = _run_cli(["src", "--flow", "--select", "F5"], cwd=tmp_path)
+    assert narrowed.returncode == 0, narrowed.stdout + narrowed.stderr
